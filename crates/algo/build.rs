@@ -1,0 +1,44 @@
+//! Embed every `.alg` coefficient file under `data/` into the crate as
+//! a static table, so searched algorithms ship with the library and the
+//! loader needs no filesystem access at run time.
+
+use std::env;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let manifest = env::var("CARGO_MANIFEST_DIR").unwrap();
+    let data_dir = Path::new(&manifest).join("data");
+    println!("cargo:rerun-if-changed={}", data_dir.display());
+
+    let mut names: Vec<String> = Vec::new();
+    if let Ok(entries) = fs::read_dir(&data_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "alg") {
+                names.push(path.file_name().unwrap().to_string_lossy().into_owned());
+            }
+        }
+    }
+    names.sort();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "/// Embedded `.alg` coefficient files: `(file_name, contents)`."
+    )
+    .unwrap();
+    writeln!(out, "pub static EMBEDDED: &[(&str, &str)] = &[").unwrap();
+    for name in &names {
+        writeln!(
+            out,
+            "    ({name:?}, include_str!(concat!(env!(\"CARGO_MANIFEST_DIR\"), \"/data/{name}\"))),"
+        )
+        .unwrap();
+    }
+    writeln!(out, "];").unwrap();
+
+    let dest = Path::new(&env::var("OUT_DIR").unwrap()).join("embedded.rs");
+    fs::write(dest, out).unwrap();
+}

@@ -1,0 +1,256 @@
+//! Construction optimizer: derive the lowest-rank algorithm for a base
+//! case reachable from a set of verified *seed* algorithms via the
+//! paper's own constructions — permutation (Prop. 2.1/2.2),
+//! tensor-product composition and direct-sum splitting (§2.3).
+//!
+//! This is how the catalog fills any Table-2 slot for which no searched
+//! coefficient file is available: the result is always a *verified*
+//! algorithm, possibly of slightly higher rank than the paper's
+//! (recorded in the provenance string and in EXPERIMENTS.md).
+
+use fmm_tensor::compose::{classical, direct_sum_k, direct_sum_m, direct_sum_n, kron_compose};
+use fmm_tensor::transform::permute_to;
+use fmm_tensor::Decomposition;
+use std::collections::HashMap;
+
+/// Upper bound on dimensions explored by the optimizer (the DP
+/// enumerates splits below this; compositions can exceed it).
+const MAX_DIM: usize = 12;
+
+/// Derive the best construction for `⟨m,k,n⟩` from `seeds`.
+///
+/// Seeds are used directly and in all dimension permutations. Returns a
+/// verified decomposition together with a human-readable derivation.
+pub fn derive_best(m: usize, k: usize, n: usize, seeds: &[Decomposition]) -> (Decomposition, String) {
+    let mut memo: HashMap<(usize, usize, usize), (usize, Derivation)> = HashMap::new();
+    let mut seed_map: HashMap<(usize, usize, usize), (usize, usize)> = HashMap::new();
+    // seed_map: base → (rank, seed index); keep the best per base,
+    // considering all permutations.
+    for (idx, s) in seeds.iter().enumerate() {
+        let (sm, sk, sn) = s.base();
+        let mut dims = [sm, sk, sn];
+        dims.sort_unstable();
+        let perms = [
+            (dims[0], dims[1], dims[2]),
+            (dims[0], dims[2], dims[1]),
+            (dims[1], dims[0], dims[2]),
+            (dims[1], dims[2], dims[0]),
+            (dims[2], dims[0], dims[1]),
+            (dims[2], dims[1], dims[0]),
+        ];
+        for p in perms {
+            let e = seed_map.entry(p).or_insert((s.rank(), idx));
+            if s.rank() < e.0 {
+                *e = (s.rank(), idx);
+            }
+        }
+    }
+
+    let rank = best_rank(m, k, n, &seed_map, &mut memo);
+    let derivation = memo
+        .get(&(m, k, n))
+        .map(|(_, d)| d.clone())
+        .unwrap_or(Derivation::Classical);
+    let dec = build(m, k, n, &derivation, seeds, &seed_map, &memo);
+    debug_assert_eq!(dec.rank(), rank);
+    let desc = describe(m, k, n, &derivation, &memo);
+    (dec, desc)
+}
+
+#[derive(Clone, Debug)]
+enum Derivation {
+    Classical,
+    Seed(usize),
+    SplitM(usize),
+    SplitK(usize),
+    SplitN(usize),
+    Kron((usize, usize, usize), (usize, usize, usize)),
+}
+
+fn best_rank(
+    m: usize,
+    k: usize,
+    n: usize,
+    seeds: &HashMap<(usize, usize, usize), (usize, usize)>,
+    memo: &mut HashMap<(usize, usize, usize), (usize, Derivation)>,
+) -> usize {
+    if let Some((r, _)) = memo.get(&(m, k, n)) {
+        return *r;
+    }
+    // Prime with the classical rank so recursion terminates.
+    memo.insert((m, k, n), (m * k * n, Derivation::Classical));
+    let mut best = (m * k * n, Derivation::Classical);
+
+    if let Some(&(r, idx)) = seeds.get(&(m, k, n)) {
+        if r < best.0 {
+            best = (r, Derivation::Seed(idx));
+        }
+    }
+
+    if m.max(k).max(n) <= MAX_DIM {
+        // Direct-sum splits along each dimension.
+        for m1 in 1..m {
+            let r = best_rank(m1, k, n, seeds, memo) + best_rank(m - m1, k, n, seeds, memo);
+            if r < best.0 {
+                best = (r, Derivation::SplitM(m1));
+            }
+        }
+        for k1 in 1..k {
+            let r = best_rank(m, k1, n, seeds, memo) + best_rank(m, k - k1, n, seeds, memo);
+            if r < best.0 {
+                best = (r, Derivation::SplitK(k1));
+            }
+        }
+        for n1 in 1..n {
+            let r = best_rank(m, k, n1, seeds, memo) + best_rank(m, k, n - n1, seeds, memo);
+            if r < best.0 {
+                best = (r, Derivation::SplitN(n1));
+            }
+        }
+    }
+
+    // Tensor-product factorizations m = m1·m2, k = k1·k2, n = n1·n2.
+    for m1 in divisors(m) {
+        for k1 in divisors(k) {
+            for n1 in divisors(n) {
+                let (m2, k2, n2) = (m / m1, k / k1, n / n1);
+                if (m1, k1, n1) == (1, 1, 1) || (m2, k2, n2) == (1, 1, 1) {
+                    continue;
+                }
+                let r = best_rank(m1, k1, n1, seeds, memo) * best_rank(m2, k2, n2, seeds, memo);
+                if r < best.0 {
+                    best = (r, Derivation::Kron((m1, k1, n1), (m2, k2, n2)));
+                }
+            }
+        }
+    }
+
+    memo.insert((m, k, n), best.clone());
+    best.0
+}
+
+fn divisors(x: usize) -> Vec<usize> {
+    (1..=x).filter(|d| x.is_multiple_of(*d)).collect()
+}
+
+fn build(
+    m: usize,
+    k: usize,
+    n: usize,
+    d: &Derivation,
+    seeds: &[Decomposition],
+    seed_map: &HashMap<(usize, usize, usize), (usize, usize)>,
+    memo: &HashMap<(usize, usize, usize), (usize, Derivation)>,
+) -> Decomposition {
+    let sub = |mm: usize, kk: usize, nn: usize| -> Decomposition {
+        let der = memo
+            .get(&(mm, kk, nn))
+            .map(|(_, d)| d.clone())
+            .unwrap_or(Derivation::Classical);
+        build(mm, kk, nn, &der, seeds, seed_map, memo)
+    };
+    match d {
+        Derivation::Classical => classical(m, k, n),
+        Derivation::Seed(idx) => permute_to(&seeds[*idx], (m, k, n))
+            .expect("seed permutation must exist for matching multiset"),
+        Derivation::SplitM(m1) => direct_sum_m(&sub(*m1, k, n), &sub(m - m1, k, n)),
+        Derivation::SplitK(k1) => direct_sum_k(&sub(m, *k1, n), &sub(m, k - k1, n)),
+        Derivation::SplitN(n1) => direct_sum_n(&sub(m, k, *n1), &sub(m, k, n - n1)),
+        Derivation::Kron(a, b) => kron_compose(&sub(a.0, a.1, a.2), &sub(b.0, b.1, b.2)),
+    }
+}
+
+fn describe(
+    m: usize,
+    k: usize,
+    n: usize,
+    d: &Derivation,
+    memo: &HashMap<(usize, usize, usize), (usize, Derivation)>,
+) -> String {
+    let rank = memo.get(&(m, k, n)).map_or(m * k * n, |(r, _)| *r);
+    match d {
+        Derivation::Classical => format!("classical ⟨{m},{k},{n}⟩ (rank {rank})"),
+        Derivation::Seed(_) => format!("seed permuted to ⟨{m},{k},{n}⟩ (rank {rank})"),
+        Derivation::SplitM(m1) => format!("⟨{m1},{k},{n}⟩ ⊕ ⟨{},{k},{n}⟩ (rank {rank})", m - m1),
+        Derivation::SplitK(k1) => format!("⟨{m},{k1},{n}⟩ ⊕ ⟨{m},{},{n}⟩ (rank {rank})", k - k1),
+        Derivation::SplitN(n1) => format!("⟨{m},{k},{n1}⟩ ⊕ ⟨{m},{k},{}⟩ (rank {rank})", n - n1),
+        Derivation::Kron(a, b) => format!(
+            "⟨{},{},{}⟩ ⊗ ⟨{},{},{}⟩ (rank {rank})",
+            a.0, a.1, a.2, b.0, b.1, b.2
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardcoded::strassen;
+
+    #[test]
+    fn strassen_seed_reproduces_known_ranks() {
+        let seeds = vec![strassen()];
+        // Hopcroft–Kerr ranks reachable by split/composition alone:
+        for (base, want) in [
+            ((2, 2, 2), 7),
+            ((2, 2, 3), 11),
+            ((2, 2, 4), 14),
+            ((2, 2, 5), 18),
+            ((4, 4, 4), 49),
+        ] {
+            let (dec, how) = derive_best(base.0, base.1, base.2, &seeds);
+            assert_eq!(dec.rank(), want, "base {base:?} via {how}");
+            dec.verify(1e-12).unwrap();
+        }
+    }
+
+    #[test]
+    fn permuted_bases_match_canonical_rank() {
+        let seeds = vec![strassen()];
+        for base in [(3, 2, 2), (2, 3, 2), (4, 2, 2), (5, 2, 2), (2, 5, 2)] {
+            let (dec, _) = derive_best(base.0, base.1, base.2, &seeds);
+            dec.verify(1e-12).unwrap();
+            let mut dims = [base.0, base.1, base.2];
+            dims.sort_unstable();
+            let (canon, _) = derive_best(dims[0], dims[1], dims[2], &seeds);
+            assert_eq!(dec.rank(), canon.rank());
+        }
+    }
+
+    #[test]
+    fn no_seeds_gives_classical() {
+        let (dec, how) = derive_best(3, 3, 3, &[]);
+        assert_eq!(dec.rank(), 27);
+        assert!(how.contains("classical") || how.contains("⊗"));
+        dec.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn extra_seed_improves_derived_rank() {
+        // With a rank-23 ⟨3,3,3⟩ seed, ⟨3,3,6⟩ should compose to ≤ 46.
+        let seeds = vec![strassen()];
+        let (no_seed, _) = derive_best(3, 3, 6, &seeds);
+        let base = no_seed.rank();
+        // fake "searched" seed: classical 3,3,3 has rank 27; pretend a
+        // rank-23 seed by using classical anyway — this test only checks
+        // monotonicity of the DP, so use the classical seed and require
+        // no regression.
+        let seeds2 = vec![strassen(), classical(3, 3, 3)];
+        let (with_seed, _) = derive_best(3, 3, 6, &seeds2);
+        assert!(with_seed.rank() <= base);
+        with_seed.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn rectangular_best_known_without_search() {
+        let seeds = vec![strassen()];
+        // ⟨2,3,3⟩: best split-based rank is 17 (15 needs a searched alg).
+        let (dec, _) = derive_best(2, 3, 3, &seeds);
+        assert_eq!(dec.rank(), 17);
+        dec.verify(1e-12).unwrap();
+        // ⟨3,3,3⟩: best derived from Strassen alone is 23? No —
+        // split/compose reaches 7+4·... : check it is < 27 and verified.
+        let (d333, how) = derive_best(3, 3, 3, &seeds);
+        assert!(d333.rank() < 27, "got {} via {how}", d333.rank());
+        d333.verify(1e-12).unwrap();
+    }
+}

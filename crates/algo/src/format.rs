@@ -1,0 +1,141 @@
+//! The `.alg` coefficient-file format.
+//!
+//! A plain-text serialization of a `⟦U,V,W⟧` decomposition:
+//!
+//! ```text
+//! # optional comment lines (provenance notes)
+//! m k n rank
+//! <m·k rows of U, `rank` whitespace-separated entries each>
+//! <k·n rows of V>
+//! <m·n rows of W>
+//! ```
+//!
+//! This mirrors the coefficient files the paper's code generator
+//! consumes, adapted to the row-major vec convention of this workspace.
+
+use fmm_matrix::Matrix;
+use fmm_tensor::Decomposition;
+use std::fmt::Write as _;
+
+/// Parse a `.alg` file.
+pub fn parse(text: &str) -> Result<Decomposition, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty .alg file")?;
+    let dims: Vec<usize> = header
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| format!("bad header token {t:?}: {e}")))
+        .collect::<Result<_, String>>()?;
+    let [m, k, n, rank] = dims.as_slice() else {
+        return Err(format!("header must be `m k n rank`, got {header:?}"));
+    };
+    let (m, k, n, rank) = (*m, *k, *n, *rank);
+
+    let mut read_matrix = |rows: usize, what: &str| -> Result<Matrix, String> {
+        let mut mat = Matrix::zeros(rows, rank);
+        for i in 0..rows {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated file while reading {what} row {i}"))?;
+            let vals: Vec<f64> = line
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|e| format!("bad entry {t:?}: {e}")))
+                .collect::<Result<_, String>>()?;
+            if vals.len() != rank {
+                return Err(format!(
+                    "{what} row {i} has {} entries, expected {rank}",
+                    vals.len()
+                ));
+            }
+            for (j, v) in vals.into_iter().enumerate() {
+                mat[(i, j)] = v;
+            }
+        }
+        Ok(mat)
+    };
+
+    let u = read_matrix(m * k, "U")?;
+    let v = read_matrix(k * n, "V")?;
+    let w = read_matrix(m * n, "W")?;
+    Ok(Decomposition::new(m, k, n, u, v, w))
+}
+
+/// Serialize a decomposition to the `.alg` format, with an optional
+/// provenance comment.
+pub fn serialize(d: &Decomposition, comment: Option<&str>) -> String {
+    let mut s = String::new();
+    if let Some(c) = comment {
+        for line in c.lines() {
+            writeln!(s, "# {line}").unwrap();
+        }
+    }
+    writeln!(s, "{} {} {} {}", d.m, d.k, d.n, d.rank()).unwrap();
+    for mat in [&d.u, &d.v, &d.w] {
+        for i in 0..mat.rows() {
+            let row: Vec<String> = (0..mat.cols())
+                .map(|j| {
+                    let x = mat[(i, j)];
+                    if x == x.round() && x.abs() < 1e6 {
+                        format!("{}", x as i64)
+                    } else {
+                        format!("{x:.17e}")
+                    }
+                })
+                .collect();
+            writeln!(s, "{}", row.join(" ")).unwrap();
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_tensor::compose::classical;
+
+    #[test]
+    fn round_trip_classical() {
+        let d = classical(2, 3, 4);
+        let text = serialize(&d, Some("classical test"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.base(), (2, 3, 4));
+        assert_eq!(back.rank(), 24);
+        back.verify(0.0).unwrap();
+        assert_eq!(back.u, d.u);
+        assert_eq!(back.v, d.v);
+        assert_eq!(back.w, d.w);
+    }
+
+    #[test]
+    fn round_trip_float_entries() {
+        let mut d = classical(2, 2, 2);
+        d.u[(0, 0)] = 0.123456789012345;
+        let text = serialize(&d, None);
+        let back = parse(&text).unwrap();
+        assert!((back.u[(0, 0)] - 0.123456789012345).abs() < 1e-16);
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        let d = classical(2, 2, 2);
+        let text = serialize(&d, None);
+        let cut: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(parse(&cut).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        assert!(parse("2 2 2").is_err());
+        assert!(parse("a b c d").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let d = classical(1, 1, 1);
+        let mut text = String::from("# hello\n\n# world\n");
+        text.push_str(&serialize(&d, None));
+        parse(&text).unwrap().verify(0.0).unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+//! Microbenchmarks of the addition strategies' kernels (§3.2): the
+//! same three-term chain evaluated pairwise, write-once and streaming.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmm_matrix::kernels;
+use fmm_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_additions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 512;
+    let x = Matrix::random(n, n, &mut rng);
+    let y = Matrix::random(n, n, &mut rng);
+    let z = Matrix::random(n, n, &mut rng);
+    let mut out = Matrix::zeros(n, n);
+
+    let mut group = c.benchmark_group("additions-512");
+    group.bench_function("pairwise(copy+2axpy)", |bench| {
+        bench.iter(|| {
+            kernels::copy_scaled(out.as_mut(), 1.0, x.as_ref());
+            kernels::axpy(out.as_mut(), -1.0, y.as_ref());
+            kernels::axpy(out.as_mut(), 0.5, z.as_ref());
+            black_box(&out);
+        })
+    });
+    group.bench_function("write-once(lincomb)", |bench| {
+        bench.iter(|| {
+            kernels::lincomb(
+                out.as_mut(),
+                0.0,
+                &[(1.0, x.as_ref()), (-1.0, y.as_ref()), (0.5, z.as_ref())],
+            );
+            black_box(&out);
+        })
+    });
+    let mut t1 = Matrix::zeros(n, n);
+    let mut t2 = Matrix::zeros(n, n);
+    group.bench_function("streaming(one src, two dst)", |bench| {
+        bench.iter(|| {
+            let mut dsts = vec![(1.0, t1.as_mut()), (-0.5, t2.as_mut())];
+            kernels::stream_update(&mut dsts, x.as_ref());
+            black_box((&t1, &t2));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_additions);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end: Strassen and two shape-matched algorithms against the
+//! classical baseline at a fixed, CI-friendly size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmm_core::{FastMul, Options};
+use fmm_gemm::gemm;
+use fmm_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fast(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 512;
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+    let mut out = Matrix::zeros(n, n);
+
+    let mut group = c.benchmark_group("fast-vs-classical-512");
+    group.sample_size(10);
+    group.bench_function("classical", |bench| {
+        bench.iter(|| {
+            gemm(1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut());
+            black_box(&out);
+        })
+    });
+    for (name, alg, steps) in [
+        ("strassen-1step", fmm_algo::strassen(), 1),
+        ("strassen-2step", fmm_algo::strassen(), 2),
+        ("winograd-2step", fmm_algo::winograd(), 2),
+        ("<4,2,4>-1step", fmm_algo::by_name("<4,2,4>").unwrap().dec, 1),
+    ] {
+        let fm = FastMul::new(&alg, Options { steps, ..Default::default() });
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                fm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast);
+criterion_main!(benches);

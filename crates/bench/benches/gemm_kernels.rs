@@ -1,0 +1,47 @@
+//! Microbenchmarks of the classical gemm substrate: block-size
+//! ablation (DESIGN.md §5.6) and the packed vs naive gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmm_gemm::{gemm_with, naive_gemm, GemmConfig};
+use fmm_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 256;
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+    let mut out = Matrix::zeros(n, n);
+
+    let mut group = c.benchmark_group("gemm-256");
+    group.bench_function("naive", |bench| {
+        bench.iter(|| {
+            naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut());
+            black_box(&out);
+        })
+    });
+    for (label, cfg) in [
+        ("packed-default", GemmConfig::default()),
+        (
+            "packed-small-blocks",
+            GemmConfig { mc: 32, kc: 64, nc: 256, small_cutoff: 16 },
+        ),
+        (
+            "packed-large-blocks",
+            GemmConfig { mc: 256, kc: 512, nc: 4096, small_cutoff: 32 },
+        ),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                gemm_with(&cfg, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut());
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

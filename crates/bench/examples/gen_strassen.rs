@@ -1,0 +1,5 @@
+fn main() {
+    let src = fmm_core::generate_rust(&fmm_algo::strassen(), "strassen_generated", false);
+    std::fs::write("tests/generated/strassen_gen.rs", src).unwrap();
+    println!("written");
+}

@@ -1,0 +1,30 @@
+//! Figure 1: sequential effective performance of code-generated
+//! Strassen vs the classical gemm baseline vs the Strassen–Winograd
+//! variant, on square problems.
+
+use fmm_bench::*;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let sizes: &[usize] = if cfg.quick {
+        &[256, 384, 512, 640, 768]
+    } else {
+        &[512, 768, 1024, 1280, 1536, 2048]
+    };
+    let strassen = fmm_algo::strassen();
+    let winograd = fmm_algo::winograd();
+    let steps: &[usize] = &[1, 2, 3];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        rows.push(measure_classical("fig1", n, n, n, 1, cfg.trials));
+        rows.push(measure_fast(
+            "fig1", "strassen", &strassen, n, n, n, 1, steps,
+            Default::default(), cfg.trials,
+        ));
+        rows.push(measure_fast(
+            "fig1", "winograd", &winograd, n, n, n, 1, steps,
+            Default::default(), cfg.trials,
+        ));
+    }
+    emit(&cfg, &rows);
+}

@@ -1,0 +1,29 @@
+//! Figure 3: ramp-up curves of the classical gemm baseline for three
+//! problem shapes, sequential and parallel.
+
+use fmm_bench::*;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let fixed = if cfg.quick { 400 } else { 800 };
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![64, 96, 128, 192, 256, 384, 512, 768]
+    } else {
+        vec![64, 128, 256, 512, 768, 1024, 1536, 2048, 3072]
+    };
+    let mut rows = Vec::new();
+    for &threads in &cfg.thread_counts {
+        for &n in &sizes {
+            let mut m1 = measure_classical("fig3-NxNxN", n, n, n, threads, cfg.trials);
+            m1.algorithm = "gemm NxNxN".into();
+            rows.push(m1);
+            let mut m2 = measure_classical("fig3-NxKxN", n, fixed, n, threads, cfg.trials);
+            m2.algorithm = format!("gemm Nx{fixed}xN");
+            rows.push(m2);
+            let mut m3 = measure_classical("fig3-NxKxK", n, fixed, fixed, threads, cfg.trials);
+            m3.algorithm = format!("gemm Nx{fixed}x{fixed}");
+            rows.push(m3);
+        }
+    }
+    emit(&cfg, &rows);
+}

@@ -1,0 +1,52 @@
+//! Figure 4: DFS vs BFS vs HYBRID parallel schemes on three
+//! representative algorithm/shape pairs, across thread counts.
+
+use fmm_bench::*;
+use fmm_core::{Options, Scheme};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![256, 512, 768]
+    } else {
+        vec![512, 1024, 1536, 2048]
+    };
+    let k424 = if cfg.quick { 448 } else { 2800 };
+    let k433 = if cfg.quick { 480 } else { 3000 };
+    let strassen = fmm_algo::strassen();
+    let a424 = fmm_algo::by_name("<4,2,4>").unwrap().dec;
+    let a433 = fmm_algo::by_name("<4,3,3>").unwrap().dec;
+    let schemes = [
+        ("DFS", Scheme::Dfs),
+        ("BFS", Scheme::Bfs),
+        ("HYBRID", Scheme::Hybrid),
+    ];
+    let steps: &[usize] = &[1, 2];
+    let mut rows = Vec::new();
+    for &threads in &cfg.thread_counts {
+        for &n in &sizes {
+            rows.push(measure_classical("fig4-square", n, n, n, threads, cfg.trials));
+            rows.push(measure_classical("fig4-424", n, k424, n, threads, cfg.trials));
+            rows.push(measure_classical("fig4-433", n, k433, k433, threads, cfg.trials));
+            for (sname, scheme) in schemes {
+                if threads == 1 && scheme != Scheme::Dfs {
+                    continue; // schemes coincide at one thread
+                }
+                let opts = Options { scheme, ..Default::default() };
+                rows.push(measure_fast(
+                    "fig4-square", &format!("strassen {sname}"),
+                    &strassen, n, n, n, threads, steps, opts, cfg.trials,
+                ));
+                rows.push(measure_fast(
+                    "fig4-424", &format!("<4,2,4> {sname}"),
+                    &a424, n, k424, n, threads, steps, opts, cfg.trials,
+                ));
+                rows.push(measure_fast(
+                    "fig4-433", &format!("<4,3,3> {sname}"),
+                    &a433, n, k433, k433, threads, steps, opts, cfg.trials,
+                ));
+            }
+        }
+    }
+    emit(&cfg, &rows);
+}

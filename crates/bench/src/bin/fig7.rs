@@ -1,0 +1,42 @@
+//! Figure 7: parallel performance on the two rectangular shapes
+//! (outer-product N×K×N, tall-and-skinny N×K×K) across thread counts.
+
+use fmm_bench::*;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![384, 512, 768]
+    } else {
+        vec![768, 1024, 1536, 2048]
+    };
+    let k_outer = if cfg.quick { 448 } else { 2800 };
+    let k_tall = if cfg.quick { 480 } else { 3000 };
+    let steps: &[usize] = &[1, 2];
+    let names = ["strassen", "<4,2,4>", "<4,3,3>", "<3,2,3>", "<4,2,3>"];
+    let mut rows = Vec::new();
+    for &threads in &cfg.thread_counts {
+        for &n in &sizes {
+            rows.push(measure_classical("fig7-outer", n, k_outer, n, threads, cfg.trials));
+            rows.push(measure_classical("fig7-tall", n, k_tall, k_tall, threads, cfg.trials));
+            for name in names {
+                let alg = fmm_algo::by_name(name).unwrap();
+                rows.push(measure_fast_best_scheme(
+                    "fig7-outer", name, &alg.dec, n, k_outer, n, threads, steps, cfg.trials,
+                ));
+                rows.push(measure_fast_best_scheme(
+                    "fig7-tall", name, &alg.dec, n, k_tall, k_tall, threads, steps, cfg.trials,
+                ));
+            }
+            for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()].into_iter().flatten() {
+                rows.push(measure_fast_best_scheme(
+                    "fig7-outer", &apa.name, &apa.dec, n, k_outer, n, threads, steps, cfg.trials,
+                ));
+                rows.push(measure_fast_best_scheme(
+                    "fig7-tall", &apa.name, &apa.dec, n, k_tall, k_tall, threads, steps, cfg.trials,
+                ));
+            }
+        }
+    }
+    emit(&cfg, &rows);
+}

@@ -1,0 +1,38 @@
+//! §4.2 memory-footprint experiment: measured temporary storage of the
+//! executor per scheme and step count, against the paper's R/(MN)
+//! model. (The paper reports that some 3-step square runs exceeded the
+//! node's 64 GB; this harness shows the growth law.)
+
+use fmm_bench::*;
+use fmm_core::{FastMul, Options};
+use fmm_matrix::Matrix;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n = if cfg.quick { 512 } else { 2048 };
+    println!("algorithm,steps,temp_MB,model_MB,c_MB");
+    for name in ["strassen", "<4,2,4>", "<4,3,3>", "<3,3,3>"] {
+        let alg = fmm_algo::by_name(name).unwrap();
+        let (m, _, nn) = alg.dec.base();
+        let rank = alg.dec.rank() as f64;
+        let (a, b) = workload(n, n, n, 1);
+        let mut c = Matrix::zeros(n, n);
+        for steps in 1..=2usize {
+            let fm = FastMul::new(&alg.dec, Options { steps, ..Default::default() });
+            let stats = fm.multiply_into_with_stats(a.as_ref(), b.as_ref(), c.as_mut());
+            let temp_mb = stats.temp_elements as f64 * 8.0 / 1e6;
+            // Geometric model: Σ_l (R/(M·N))^l · |C| for the M_r alone.
+            let ratio = rank / (m as f64 * nn as f64);
+            let model: f64 = (1..=steps)
+                .map(|l| ratio.powi(l as i32))
+                .sum::<f64>()
+                * (n * n) as f64
+                * 8.0
+                / 1e6;
+            println!(
+                "{name},{steps},{temp_mb:.1},{model:.1},{:.1}",
+                (n * n) as f64 * 8.0 / 1e6
+            );
+        }
+    }
+}

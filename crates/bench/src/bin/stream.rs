@@ -1,0 +1,48 @@
+//! §4.5: shared-memory bandwidth limitations. A STREAM-triad
+//! microbenchmark and the gemm compute benchmark, each at 1..=P
+//! threads, demonstrating that additions (bandwidth-bound) scale worse
+//! than multiplications (compute-bound).
+
+use fmm_bench::*;
+use rayon::prelude::*;
+
+fn triad_gbs(len: usize, threads: usize, trials: usize) -> f64 {
+    let a = vec![1.0f64; len];
+    let b = vec![2.0f64; len];
+    let mut c = vec![0.0f64; len];
+    let tp = pool(threads);
+    let secs = tp.install(|| {
+        time_median(
+            || {
+                c.par_chunks_mut(1 << 14)
+                    .zip(a.par_chunks(1 << 14).zip(b.par_chunks(1 << 14)))
+                    .for_each(|(cc, (aa, bb))| {
+                        for i in 0..cc.len() {
+                            cc[i] = aa[i] + 3.0 * bb[i];
+                        }
+                    });
+            },
+            trials,
+        )
+    });
+    // triad moves 3 doubles per element
+    (len * 3 * 8) as f64 / secs / 1e9
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let len = if cfg.quick { 1 << 24 } else { 1 << 26 };
+    let n = if cfg.quick { 768 } else { 1536 };
+    println!("threads,triad_GBs,triad_scaling,gemm_gflops,gemm_scaling");
+    let base_bw = triad_gbs(len, 1, cfg.trials);
+    let base_gemm = measure_classical("stream", n, n, n, 1, cfg.trials).effective_gflops;
+    for &threads in &cfg.thread_counts {
+        let bw = triad_gbs(len, threads, cfg.trials);
+        let gf = measure_classical("stream", n, n, n, threads, cfg.trials).effective_gflops;
+        println!(
+            "{threads},{bw:.2},{:.2}x,{gf:.2},{:.2}x",
+            bw / base_bw,
+            gf / base_gemm
+        );
+    }
+}

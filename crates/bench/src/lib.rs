@@ -1,0 +1,355 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`; this
+//! library provides the common pieces: median timing, thread-pool
+//! control (the analog of the paper's 6-core/24-core sweeps at this
+//! machine's scale), best-of-steps selection (§5: "we take the best of
+//! one, two, or three steps of recursion"), and CSV/JSON emission so
+//! EXPERIMENTS.md can quote results directly.
+
+use fmm_core::{AdditionMethod, FastMul, Options, Scheme};
+use fmm_matrix::Matrix;
+use fmm_tensor::Decomposition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Command-line configuration shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Quick mode shrinks sweeps for CI; full mode runs the real sizes.
+    pub quick: bool,
+    /// Timing repetitions (median is reported; paper uses 5).
+    pub trials: usize,
+    /// Thread counts to sweep for parallel experiments.
+    pub thread_counts: Vec<usize>,
+    /// Optional JSON output path.
+    pub json_out: Option<String>,
+}
+
+impl HarnessConfig {
+    /// Parse from `std::env::args`: `--quick` (default), `--full`,
+    /// `--trials T`, `--threads 1,2`, `--json PATH`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut cfg = HarnessConfig {
+            quick: true,
+            trials: 3,
+            thread_counts: vec![1, num_threads_available()],
+            json_out: None,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => cfg.quick = true,
+                "--full" => cfg.quick = false,
+                "--trials" => {
+                    i += 1;
+                    cfg.trials = args[i].parse().expect("--trials N");
+                }
+                "--threads" => {
+                    i += 1;
+                    cfg.thread_counts = args[i]
+                        .split(',')
+                        .map(|t| t.parse().expect("--threads 1,2"))
+                        .collect();
+                }
+                "--json" => {
+                    i += 1;
+                    cfg.json_out = Some(args[i].clone());
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Available hardware parallelism.
+pub fn num_threads_available() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get())
+}
+
+/// Build a rayon pool with exactly `threads` threads.
+pub fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+}
+
+/// Median wall-clock seconds over `trials` runs of `f`.
+pub fn time_median<F: FnMut()>(mut f: F, trials: usize) -> f64 {
+    let mut times: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Random operands for a `P × Q × R` problem.
+pub fn workload(p: usize, q: usize, r: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (Matrix::random(p, q, &mut rng), Matrix::random(q, r, &mut rng))
+}
+
+/// One measurement row, serializable for EXPERIMENTS.md extraction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Experiment identifier (e.g. "fig5-square").
+    pub experiment: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Problem dims.
+    pub p: usize,
+    /// Inner dimension.
+    pub q: usize,
+    /// Output columns.
+    pub r: usize,
+    /// Threads used (1 = sequential).
+    pub threads: usize,
+    /// Recursion steps that achieved the best time (0 = classical).
+    pub steps: usize,
+    /// Median seconds.
+    pub seconds: f64,
+    /// Effective GFLOPS (Eq. 3).
+    pub effective_gflops: f64,
+}
+
+impl Measurement {
+    /// CSV header matching [`Measurement::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "experiment,algorithm,p,q,r,threads,steps,seconds,effective_gflops"
+    }
+
+    /// Render as a CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{:.6},{:.3}",
+            self.experiment,
+            self.algorithm,
+            self.p,
+            self.q,
+            self.r,
+            self.threads,
+            self.steps,
+            self.seconds,
+            self.effective_gflops
+        )
+    }
+}
+
+/// Time the classical baseline (our MKL stand-in) on a problem.
+pub fn measure_classical(
+    experiment: &str,
+    p: usize,
+    q: usize,
+    r: usize,
+    threads: usize,
+    trials: usize,
+) -> Measurement {
+    let (a, b) = workload(p, q, r, 42);
+    let mut c = Matrix::zeros(p, r);
+    let tp = pool(threads);
+    let secs = if threads == 1 {
+        time_median(
+            || fmm_gemm::gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut()),
+            trials,
+        )
+    } else {
+        tp.install(|| {
+            time_median(
+                || fmm_gemm::par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut()),
+                trials,
+            )
+        })
+    };
+    Measurement {
+        experiment: experiment.into(),
+        algorithm: "classical(gemm)".into(),
+        p,
+        q,
+        r,
+        threads,
+        steps: 0,
+        seconds: secs,
+        effective_gflops: fmm_gemm::effective_gflops(p, q, r, secs),
+    }
+}
+
+/// Time a fast algorithm with the given options, taking the best over
+/// `steps_candidates` recursion depths (paper §5 protocol).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_fast(
+    experiment: &str,
+    name: &str,
+    dec: &Decomposition,
+    p: usize,
+    q: usize,
+    r: usize,
+    threads: usize,
+    steps_candidates: &[usize],
+    base_opts: Options,
+    trials: usize,
+) -> Measurement {
+    let (a, b) = workload(p, q, r, 42);
+    let mut c = Matrix::zeros(p, r);
+    let tp = pool(threads);
+    let mut best = (f64::INFINITY, 0usize);
+    for &steps in steps_candidates {
+        let opts = Options {
+            steps,
+            ..base_opts
+        };
+        let fm = FastMul::new(dec, opts);
+        let secs = tp.install(|| {
+            time_median(
+                || fm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+                trials,
+            )
+        });
+        if secs < best.0 {
+            best = (secs, steps);
+        }
+    }
+    Measurement {
+        experiment: experiment.into(),
+        algorithm: name.into(),
+        p,
+        q,
+        r,
+        threads,
+        steps: best.1,
+        seconds: best.0,
+        effective_gflops: fmm_gemm::effective_gflops(p, q, r, best.0),
+    }
+}
+
+/// Scheme used by the paper's §5 protocol at a given core count:
+/// best of BFS and HYBRID on few cores, best of DFS and HYBRID on many.
+pub fn schemes_for_threads(threads: usize) -> Vec<Scheme> {
+    if threads == 1 {
+        vec![Scheme::Sequential]
+    } else if threads <= 8 {
+        vec![Scheme::Bfs, Scheme::Hybrid]
+    } else {
+        vec![Scheme::Dfs, Scheme::Hybrid]
+    }
+}
+
+/// Best measurement across the §5 scheme set for this thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_fast_best_scheme(
+    experiment: &str,
+    name: &str,
+    dec: &Decomposition,
+    p: usize,
+    q: usize,
+    r: usize,
+    threads: usize,
+    steps_candidates: &[usize],
+    trials: usize,
+) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for scheme in schemes_for_threads(threads) {
+        let m = measure_fast(
+            experiment,
+            name,
+            dec,
+            p,
+            q,
+            r,
+            threads,
+            steps_candidates,
+            Options {
+                scheme,
+                additions: AdditionMethod::WriteOnce,
+                ..Options::default()
+            },
+            trials,
+        );
+        if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one scheme")
+}
+
+/// Emit measurements: CSV to stdout, optional JSON file.
+pub fn emit(cfg: &HarnessConfig, rows: &[Measurement]) {
+    println!("{}", Measurement::csv_header());
+    for row in rows {
+        println!("{}", row.csv_row());
+    }
+    if let Some(path) = &cfg.json_out {
+        let json = serde_json::to_string_pretty(rows).expect("serialize");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_median_is_positive_and_ordered() {
+        let t = time_median(|| { std::hint::black_box(1 + 1); }, 5);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn measurement_csv_row_has_all_fields() {
+        let m = Measurement {
+            experiment: "x".into(),
+            algorithm: "y".into(),
+            p: 1,
+            q: 2,
+            r: 3,
+            threads: 1,
+            steps: 1,
+            seconds: 0.5,
+            effective_gflops: 1.0,
+        };
+        assert_eq!(m.csv_row().split(',').count(), 9);
+        assert_eq!(Measurement::csv_header().split(',').count(), 9);
+    }
+
+    #[test]
+    fn classical_measurement_runs() {
+        let m = measure_classical("t", 64, 64, 64, 1, 1);
+        assert!(m.seconds > 0.0);
+        assert!(m.effective_gflops > 0.0);
+    }
+
+    #[test]
+    fn fast_measurement_picks_a_step_count() {
+        let s = fmm_algo::strassen();
+        let m = measure_fast(
+            "t",
+            "strassen",
+            &s,
+            64,
+            64,
+            64,
+            1,
+            &[1, 2],
+            Options::default(),
+            1,
+        );
+        assert!(m.steps == 1 || m.steps == 2);
+    }
+
+    #[test]
+    fn scheme_selection_matches_paper_protocol() {
+        assert_eq!(schemes_for_threads(1), vec![Scheme::Sequential]);
+        assert_eq!(schemes_for_threads(2), vec![Scheme::Bfs, Scheme::Hybrid]);
+        assert_eq!(schemes_for_threads(24), vec![Scheme::Dfs, Scheme::Hybrid]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Numerical-accuracy instrumentation (§2.2.3, §6).
+//!
+//! Fast algorithms trade numerical stability for speed; APA algorithms
+//! additionally lose roughly half the significant digits per recursive
+//! step. These helpers measure forward error against the classical
+//! algorithm so the harness can reproduce those observations.
+
+use crate::executor::{FastMul, Options};
+use fmm_gemm::naive_gemm;
+use fmm_matrix::{relative_error, Matrix};
+use fmm_tensor::Decomposition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Relative forward error `‖C_fast − C_ref‖_F / ‖C_ref‖_F` of the fast
+/// algorithm on a random `n × n × n` problem.
+pub fn forward_error(dec: &Decomposition, opts: Options, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+    let mut c_ref = Matrix::zeros(n, n);
+    naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+    let c_fast = FastMul::new(dec, opts).multiply(&a, &b);
+    relative_error(&c_fast.as_ref(), &c_ref.as_ref())
+}
+
+/// Max relative error over `trials` random problems — a smoother
+/// statistic for comparing algorithms' stability (§6).
+pub fn max_rel_error_vs_classical(
+    dec: &Decomposition,
+    opts: Options,
+    n: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    (0..trials)
+        .map(|t| forward_error(dec, opts, n, seed.wrapping_add(t as u64)))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_tensor::compose::classical;
+
+    #[test]
+    fn classical_decomposition_error_is_roundoff() {
+        let c = classical(2, 2, 2);
+        let e = forward_error(
+            &c,
+            Options {
+                steps: 2,
+                ..Options::default()
+            },
+            64,
+            1,
+        );
+        assert!(e < 1e-13, "error {e}");
+    }
+
+    #[test]
+    fn deeper_recursion_does_not_catastrophically_amplify() {
+        let c = classical(2, 2, 2);
+        let e = max_rel_error_vs_classical(
+            &c,
+            Options {
+                steps: 3,
+                ..Options::default()
+            },
+            96,
+            3,
+            7,
+        );
+        assert!(e < 1e-12, "error {e}");
+    }
+}

@@ -1,0 +1,736 @@
+//! The recursive fast-matrix-multiplication executor.
+//!
+//! Given a schedule of verified decompositions (one per recursion
+//! level — a uniform algorithm is a schedule of `L` copies; the
+//! composed ⟨54,54,54⟩ algorithm of §5.2 is a schedule of three
+//! different ones), the executor:
+//!
+//! 1. splits off dynamic-peeling strips so arbitrary dimensions work
+//!    (§3.5),
+//! 2. forms the `S_r`/`T_r` linear combinations with the configured
+//!    addition strategy (§3.2) and optional CSE temporaries (§3.3),
+//!    piping singleton-column scales through to the output combination
+//!    instead of materializing a temporary (§3.1),
+//! 3. recursively multiplies `M_r = S_r · T_r`, switching among
+//!    sequential, DFS, BFS and HYBRID parallel schemes (§4), and
+//! 4. combines the `M_r` into `C` with the rows of `W`.
+
+use crate::plan::{output_plan, side_plan, SidePlan, Var};
+use fmm_gemm::{gemm, par_gemm};
+use fmm_matrix::kernels;
+use fmm_matrix::partition::{Grid, PeelSplit};
+use fmm_matrix::{MatMut, MatRef, Matrix};
+use fmm_tensor::Decomposition;
+
+/// How the bandwidth-bound addition chains are evaluated (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdditionMethod {
+    /// One `daxpy`-style pass per chain term.
+    Pairwise,
+    /// Each destination entry written exactly once (the paper's
+    /// best-performing variant).
+    #[default]
+    WriteOnce,
+    /// Each source block read once; all dependent temporaries updated
+    /// while it streams through cache.
+    Streaming,
+}
+
+/// How non-divisible dimensions are handled (§3.5).
+///
+/// The paper chooses dynamic peeling to limit memory and keep code
+/// generation simple; padding is the classical alternative it compares
+/// against in the discussion, implemented here for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BorderHandling {
+    /// Fix up remainder strips with thin classical products at every
+    /// recursion level (the paper's choice).
+    #[default]
+    DynamicPeeling,
+    /// Zero-pad the operands up front so every level divides exactly,
+    /// then copy the result back. Simpler, but costs extra memory and
+    /// bandwidth proportional to the padding.
+    Padding,
+}
+
+/// Shared-memory parallelization scheme (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Single-threaded recursion, sequential base-case gemm.
+    #[default]
+    Sequential,
+    /// Depth-first: recursion is sequential, every base-case gemm and
+    /// every addition uses all threads (§4.1).
+    Dfs,
+    /// Breadth-first: each recursive multiply is an independent task
+    /// with sequential leaf gemms; per-level joins are the taskwait
+    /// barriers (§4.2).
+    Bfs,
+    /// BFS for the first `R^L − (R^L mod P)` leaves, all-threads DFS
+    /// for the remainder (§4.3). Rayon's work stealing supplies the
+    /// "no oversubscription" guarantee the paper builds with OpenMP
+    /// locks.
+    Hybrid,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Recursion depth (`steps` in the paper). Ignored for schedules —
+    /// the schedule length is the depth.
+    pub steps: usize,
+    /// Addition-chain evaluation strategy.
+    pub additions: AdditionMethod,
+    /// Apply greedy length-2 common subexpression elimination.
+    pub cse: bool,
+    /// Parallel scheme.
+    pub scheme: Scheme,
+    /// Remainder handling for non-divisible dimensions.
+    pub border: BorderHandling,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            steps: 1,
+            additions: AdditionMethod::WriteOnce,
+            cse: false,
+            scheme: Scheme::Sequential,
+            border: BorderHandling::DynamicPeeling,
+        }
+    }
+}
+
+/// Execution statistics collected by
+/// [`FastMul::multiply_into_with_stats`]: used by the tests to verify
+/// the `R^L` leaf count and by the memory discussion of §4.2.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Base-case gemm calls (the "active multiplications").
+    pub base_gemms: std::sync::atomic::AtomicU64,
+    /// Classical fix-up products issued by dynamic peeling.
+    pub peel_gemms: std::sync::atomic::AtomicU64,
+    /// Total f64 elements allocated for S/T/M temporaries.
+    pub temp_elements: std::sync::atomic::AtomicU64,
+}
+
+/// Plain snapshot of [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStatsSnapshot {
+    /// Base-case gemm calls.
+    pub base_gemms: u64,
+    /// Peel fix-up gemm calls.
+    pub peel_gemms: u64,
+    /// Total temporary f64 elements allocated.
+    pub temp_elements: u64,
+}
+
+impl ExecStats {
+    fn snapshot(&self) -> ExecStatsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        ExecStatsSnapshot {
+            base_gemms: self.base_gemms.load(Relaxed),
+            peel_gemms: self.peel_gemms.load(Relaxed),
+            temp_elements: self.temp_elements.load(Relaxed),
+        }
+    }
+}
+
+/// Pre-computed per-level plan.
+struct LevelPlan {
+    m: usize,
+    k: usize,
+    n: usize,
+    uplan: SidePlan,
+    vplan: SidePlan,
+    wplan: Vec<Vec<(usize, f64)>>,
+    rank: usize,
+}
+
+impl LevelPlan {
+    fn new(dec: &Decomposition, cse: bool) -> Self {
+        const TOL: f64 = 1e-14;
+        LevelPlan {
+            m: dec.m,
+            k: dec.k,
+            n: dec.n,
+            uplan: side_plan(&dec.u, cse, TOL),
+            vplan: side_plan(&dec.v, cse, TOL),
+            wplan: output_plan(&dec.w, TOL),
+            rank: dec.rank(),
+        }
+    }
+}
+
+/// A configured fast multiplication ready to run on any problem size.
+pub struct FastMul {
+    levels: Vec<LevelPlan>,
+    opts: Options,
+}
+
+impl FastMul {
+    /// Uniform algorithm: `opts.steps` recursive applications of `dec`.
+    pub fn new(dec: &Decomposition, opts: Options) -> Self {
+        let levels = (0..opts.steps)
+            .map(|_| LevelPlan::new(dec, opts.cse))
+            .collect();
+        FastMul { levels, opts }
+    }
+
+    /// Composed algorithm: one decomposition per recursion level
+    /// (e.g. ⟨3,3,6⟩ ∘ ⟨3,6,3⟩ ∘ ⟨6,3,3⟩ for the ⟨54,54,54⟩ algorithm
+    /// of §5.2). `opts.steps` is ignored.
+    pub fn with_schedule(schedule: &[&Decomposition], opts: Options) -> Self {
+        let levels = schedule
+            .iter()
+            .map(|d| LevelPlan::new(d, opts.cse))
+            .collect();
+        FastMul { levels, opts }
+    }
+
+    /// `C = A · B` into a fresh matrix.
+    pub fn multiply(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        self.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        c
+    }
+
+    /// `C = A · B` into a caller-provided view (contents overwritten).
+    pub fn multiply_into(&self, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
+        self.run(a, b, c, None);
+    }
+
+    /// As [`FastMul::multiply_into`], additionally returning execution
+    /// statistics (leaf gemm count, peel fix-ups, temporary footprint).
+    pub fn multiply_into_with_stats(
+        &self,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: MatMut<'_>,
+    ) -> ExecStatsSnapshot {
+        let stats = ExecStats::default();
+        self.run(a, b, c, Some(&stats));
+        stats.snapshot()
+    }
+
+    fn run(&self, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>, stats: Option<&ExecStats>) {
+        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+        assert_eq!(c.rows(), a.rows(), "output rows mismatch");
+        assert_eq!(c.cols(), b.cols(), "output cols mismatch");
+        let total_leaves: u64 = self
+            .levels
+            .iter()
+            .map(|l| l.rank as u64)
+            .product();
+        let threads = rayon::current_num_threads() as u64;
+        let threshold = match self.opts.scheme {
+            Scheme::Hybrid => total_leaves - (total_leaves % threads.max(1)),
+            _ => u64::MAX,
+        };
+        let ctx = Ctx {
+            levels: &self.levels,
+            additions: self.opts.additions,
+            scheme: self.opts.scheme,
+            threshold,
+            stats,
+        };
+        if self.opts.border == BorderHandling::Padding && !self.levels.is_empty() {
+            // Pad each dimension to the full per-level product so no
+            // recursion level ever peels.
+            let mprod: usize = self.levels.iter().map(|l| l.m).product();
+            let kprod: usize = self.levels.iter().map(|l| l.k).product();
+            let nprod: usize = self.levels.iter().map(|l| l.n).product();
+            let (p, q, r) = (a.rows(), a.cols(), b.cols());
+            let pp = p.div_ceil(mprod) * mprod;
+            let qq = q.div_ceil(kprod) * kprod;
+            let rr = r.div_ceil(nprod) * nprod;
+            if (pp, qq, rr) != (p, q, r) {
+                let mut ap = Matrix::zeros(pp, qq);
+                let mut bp = Matrix::zeros(qq, rr);
+                kernels::copy(ap.block_mut(0, 0, p, q), a);
+                kernels::copy(bp.block_mut(0, 0, q, r), b);
+                let mut cp = Matrix::zeros(pp, rr);
+                ctx.count(|s| &s.temp_elements, (pp * qq + qq * rr + pp * rr) as u64);
+                run_node(&ctx, 0, 0, ap.as_ref(), bp.as_ref(), cp.as_mut());
+                kernels::copy(c.reborrow(), cp.block(0, 0, p, r));
+                return;
+            }
+        }
+        run_node(&ctx, 0, 0, a, b, c);
+    }
+
+    /// Recursion depth of this executor.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+struct Ctx<'p> {
+    levels: &'p [LevelPlan],
+    additions: AdditionMethod,
+    scheme: Scheme,
+    threshold: u64,
+    stats: Option<&'p ExecStats>,
+}
+
+impl Ctx<'_> {
+    fn count(&self, field: impl Fn(&ExecStats) -> &std::sync::atomic::AtomicU64, amount: u64) {
+        if let Some(stats) = self.stats {
+            field(stats).fetch_add(amount, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl Ctx<'_> {
+    /// Leaves under one child of a node at `depth`.
+    fn leaves_below(&self, depth: usize) -> u64 {
+        self.levels[depth + 1..]
+            .iter()
+            .map(|l| l.rank as u64)
+            .product()
+    }
+
+    /// Should additions at this depth use all threads?
+    fn par_adds(&self, depth: usize) -> bool {
+        match self.scheme {
+            Scheme::Sequential => false,
+            Scheme::Dfs => true,
+            // BFS/HYBRID: only the top level runs outside tasks.
+            Scheme::Bfs | Scheme::Hybrid => depth == 0,
+        }
+    }
+
+    /// Base-case gemm for the leaf with global index `leaf`.
+    fn leaf_gemm(&self, leaf: u64, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+        self.count(|s| &s.base_gemms, 1);
+        match self.scheme {
+            Scheme::Sequential | Scheme::Bfs => gemm(alpha, a, b, beta, c),
+            Scheme::Dfs => par_gemm(alpha, a, b, beta, c),
+            Scheme::Hybrid => {
+                if leaf >= self.threshold {
+                    par_gemm(alpha, a, b, beta, c)
+                } else {
+                    gemm(alpha, a, b, beta, c)
+                }
+            }
+        }
+    }
+
+    /// Gemm used for peel strips at `depth`.
+    fn strip_gemm(&self, depth: usize, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+        self.count(|s| &s.peel_gemms, 1);
+        let par = match self.scheme {
+            Scheme::Sequential => false,
+            Scheme::Dfs => true,
+            Scheme::Bfs | Scheme::Hybrid => depth == 0,
+        };
+        if par {
+            par_gemm(alpha, a, b, beta, c)
+        } else {
+            gemm(alpha, a, b, beta, c)
+        }
+    }
+}
+
+/// An `S_r`/`T_r` operand: a borrowed scaled block (singleton columns,
+/// §3.1) or an owned temporary.
+enum Operand<'a> {
+    View(MatRef<'a>, f64),
+    Owned(Matrix, f64),
+}
+
+impl Operand<'_> {
+    fn as_view(&self) -> (MatRef<'_>, f64) {
+        match self {
+            Operand::View(v, s) => (*v, *s),
+            Operand::Owned(m, s) => (m.as_ref(), *s),
+        }
+    }
+}
+
+/// Recursive driver: peel, then run the fast step on the divisible core.
+fn run_node(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    if depth == ctx.levels.len() {
+        ctx.leaf_gemm(leaf_lo, 1.0, a, b, 0.0, c);
+        return;
+    }
+    let lp = &ctx.levels[depth];
+    let (p, q, r) = (a.rows(), a.cols(), b.cols());
+    let peel = PeelSplit::new(p, q, r, lp.m, lp.k, lp.n);
+    if peel.core_is_empty() {
+        ctx.leaf_gemm(leaf_lo, 1.0, a, b, 0.0, c);
+        return;
+    }
+    let (p1, q1, r1) = (peel.p1, peel.q1, peel.r1);
+    let (dp, dq, dr) = (peel.dp, peel.dq, peel.dr);
+
+    let a11 = a.block(0, 0, p1, q1);
+    let b11 = b.block(0, 0, q1, r1);
+
+    // Fast multiplication on the divisible core, then the thin
+    // dynamic-peeling fix-up products (§3.5). Sequential mutable
+    // reborrows of C keep exclusive access sound.
+    fast_step(ctx, depth, leaf_lo, a11, b11, c.reborrow().into_block(0, 0, p1, r1));
+
+    if dq > 0 {
+        // C11 += A12·B21
+        let a12 = a.block(0, q1, p1, dq);
+        let b21 = b.block(q1, 0, dq, r1);
+        ctx.strip_gemm(depth, 1.0, a12, b21, 1.0, c.reborrow().into_block(0, 0, p1, r1));
+    }
+    if dr > 0 {
+        // C12 = A11·B12 + A12·B22
+        let b12 = b.block(0, r1, q1, dr);
+        ctx.strip_gemm(depth, 1.0, a11, b12, 0.0, c.reborrow().into_block(0, r1, p1, dr));
+        if dq > 0 {
+            let a12 = a.block(0, q1, p1, dq);
+            let b22 = b.block(q1, r1, dq, dr);
+            ctx.strip_gemm(depth, 1.0, a12, b22, 1.0, c.reborrow().into_block(0, r1, p1, dr));
+        }
+    }
+    if dp > 0 {
+        // C21 = A21·B11 + A22·B21
+        let a21 = a.block(p1, 0, dp, q1);
+        ctx.strip_gemm(depth, 1.0, a21, b11, 0.0, c.reborrow().into_block(p1, 0, dp, r1));
+        if dq > 0 {
+            let a22 = a.block(p1, q1, dp, dq);
+            let b21 = b.block(q1, 0, dq, r1);
+            ctx.strip_gemm(depth, 1.0, a22, b21, 1.0, c.reborrow().into_block(p1, 0, dp, r1));
+        }
+    }
+    if dp > 0 && dr > 0 {
+        // C22 = A21·B12 + A22·B22
+        let a21 = a.block(p1, 0, dp, q1);
+        let b12 = b.block(0, r1, q1, dr);
+        ctx.strip_gemm(depth, 1.0, a21, b12, 0.0, c.reborrow().into_block(p1, r1, dp, dr));
+        if dq > 0 {
+            let a22 = a.block(p1, q1, dp, dq);
+            let b22 = b.block(q1, r1, dq, dr);
+            ctx.strip_gemm(depth, 1.0, a22, b22, 1.0, c.reborrow().into_block(p1, r1, dp, dr));
+        }
+    }
+}
+
+/// Evaluate the CSE temporaries of one side.
+fn eval_temps(
+    plan: &SidePlan,
+    grid: &Grid,
+    src: &MatRef<'_>,
+    par: bool,
+) -> Vec<Matrix> {
+    let mut temps: Vec<Matrix> = Vec::with_capacity(plan.temps.len());
+    for def in &plan.temps {
+        let mut out = Matrix::zeros(grid.rs, grid.cs);
+        {
+            let terms: Vec<(f64, MatRef<'_>)> = def
+                .iter()
+                .map(|&(v, coef)| match v {
+                    Var::Block(bi) => (coef, grid.block(src, bi / grid.bc, bi % grid.bc)),
+                    Var::Temp(t) => (coef, temps[t].as_ref()),
+                })
+                .collect();
+            if par {
+                kernels::par_lincomb(out.as_mut(), 0.0, &terms);
+            } else {
+                kernels::lincomb(out.as_mut(), 0.0, &terms);
+            }
+        }
+        temps.push(out);
+    }
+    temps
+}
+
+/// Form one operand (`S_r` or `T_r`) with the write-once or pairwise
+/// strategy.
+fn form_operand<'a>(
+    plan: &SidePlan,
+    r: usize,
+    grid: &Grid,
+    src: &MatRef<'a>,
+    temps: &[Matrix],
+    method: AdditionMethod,
+    par: bool,
+) -> Operand<'a> {
+    if let Some((bi, scale)) = plan.passthrough[r] {
+        return Operand::View(grid.block(src, bi / grid.bc, bi % grid.bc), scale);
+    }
+    let chain = &plan.chains[r];
+    let mut out = Matrix::zeros(grid.rs, grid.cs);
+    let terms: Vec<(f64, MatRef<'_>)> = chain
+        .iter()
+        .map(|&(v, coef)| match v {
+            Var::Block(bi) => (coef, grid.block(src, bi / grid.bc, bi % grid.bc)),
+            Var::Temp(t) => (coef, temps[t].as_ref()),
+        })
+        .collect();
+    match method {
+        AdditionMethod::Pairwise => {
+            // daxpy-chain: initial scaled copy then one axpy per term.
+            let (c0, s0) = terms[0];
+            if par {
+                kernels::par_copy(out.as_mut(), s0);
+                if c0 != 1.0 {
+                    kernels::scale(out.as_mut(), c0);
+                }
+                for &(cf, sv) in &terms[1..] {
+                    kernels::par_axpy(out.as_mut(), cf, sv);
+                }
+            } else {
+                kernels::copy_scaled(out.as_mut(), c0, s0);
+                for &(cf, sv) in &terms[1..] {
+                    kernels::axpy(out.as_mut(), cf, sv);
+                }
+            }
+        }
+        AdditionMethod::WriteOnce | AdditionMethod::Streaming => {
+            if par {
+                kernels::par_lincomb(out.as_mut(), 0.0, &terms);
+            } else {
+                kernels::lincomb(out.as_mut(), 0.0, &terms);
+            }
+        }
+    }
+    Operand::Owned(out, 1.0)
+}
+
+/// Form all operands of one side with the streaming strategy: zero all
+/// owned temporaries, then stream each source block once, updating
+/// every chain that references it.
+fn form_side_streaming<'a>(
+    plan: &SidePlan,
+    grid: &Grid,
+    src: &MatRef<'a>,
+    temps: &[Matrix],
+    par: bool,
+) -> Vec<Operand<'a>> {
+    let rank = plan.chains.len();
+    let mut owned: Vec<Option<Matrix>> = (0..rank)
+        .map(|r| {
+            if plan.passthrough[r].is_some() {
+                None
+            } else {
+                Some(Matrix::zeros(grid.rs, grid.cs))
+            }
+        })
+        .collect();
+
+    // Reverse index: variable → [(chain, coef)].
+    let mut by_var: std::collections::HashMap<Var, Vec<(usize, f64)>> = std::collections::HashMap::new();
+    for (r, chain) in plan.chains.iter().enumerate() {
+        if plan.passthrough[r].is_some() {
+            continue;
+        }
+        for &(v, coef) in chain {
+            by_var.entry(v).or_default().push((r, coef));
+        }
+    }
+
+    for (&var, targets) in by_var.iter() {
+        let srcview = match var {
+            Var::Block(bi) => grid.block(src, bi / grid.bc, bi % grid.bc),
+            Var::Temp(t) => temps[t].as_ref(),
+        };
+        // Split mutable access to the distinct destination matrices.
+        let mut refs: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(targets.len());
+        {
+            // Collect raw &mut to each target exactly once (targets are
+            // distinct chain indices).
+            let mut taken: Vec<usize> = Vec::new();
+            for &(r, coef) in targets {
+                debug_assert!(!taken.contains(&r));
+                taken.push(r);
+                let m = owned[r]
+                    .as_mut()
+                    .expect("streaming target must be owned")
+                    as *mut Matrix;
+                // SAFETY: each chain index appears once in `targets`,
+                // so the &mut references are disjoint.
+                let m = unsafe { &mut *m };
+                refs.push((coef, m.as_mut()));
+            }
+            if par {
+                kernels::par_stream_update(&mut refs, srcview);
+            } else {
+                kernels::stream_update(&mut refs, srcview);
+            }
+        }
+    }
+
+    owned
+        .into_iter()
+        .enumerate()
+        .map(|(r, o)| match o {
+            Some(mat) => Operand::Owned(mat, 1.0),
+            None => {
+                let (bi, scale) = plan.passthrough[r].unwrap();
+                Operand::View(grid.block(src, bi / grid.bc, bi % grid.bc), scale)
+            }
+        })
+        .collect()
+}
+
+/// One fast recursive step on a divisible core problem.
+fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
+    let lp = &ctx.levels[depth];
+    let ga = Grid::new(a.rows(), a.cols(), lp.m, lp.k);
+    let gb = Grid::new(b.rows(), b.cols(), lp.k, lp.n);
+    let rank = lp.rank;
+    let par = ctx.par_adds(depth);
+    let leaves_per_child = ctx.leaves_below(depth);
+
+    // CSE temporaries are shared across all chains of a side.
+    let utemps = eval_temps(&lp.uplan, &ga, &a, par);
+    let vtemps = eval_temps(&lp.vplan, &gb, &b, par);
+
+    // M_r storage.
+    let sub_rows = a.rows() / lp.m;
+    let sub_cols = b.cols() / lp.n;
+    let mut ms: Vec<Matrix> = (0..rank).map(|_| Matrix::zeros(sub_rows, sub_cols)).collect();
+    ctx.count(|s| &s.temp_elements, (rank * sub_rows * sub_cols) as u64);
+    // Scales piped from singleton S/T columns into the W combination.
+    let mut scales = vec![1.0f64; rank];
+
+    let sequentialish = matches!(ctx.scheme, Scheme::Sequential | Scheme::Dfs);
+
+    match ctx.additions {
+        AdditionMethod::Streaming => {
+            let ss = form_side_streaming(&lp.uplan, &ga, &a, &utemps, par);
+            let ts = form_side_streaming(&lp.vplan, &gb, &b, &vtemps, par);
+            for r in 0..rank {
+                let (_, su) = ss[r].as_view();
+                let (_, tv) = ts[r].as_view();
+                scales[r] = su * tv;
+            }
+            if sequentialish {
+                for (r, m) in ms.iter_mut().enumerate() {
+                    let (sv, _) = ss[r].as_view();
+                    let (tv, _) = ts[r].as_view();
+                    run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                }
+            } else {
+                rayon::scope(|scope| {
+                    for (r, m) in ms.iter_mut().enumerate() {
+                        let ssr = &ss;
+                        let tsr = &ts;
+                        scope.spawn(move |_| {
+                            let (sv, _) = ssr[r].as_view();
+                            let (tv, _) = tsr[r].as_view();
+                            run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                        });
+                    }
+                });
+            }
+        }
+        AdditionMethod::WriteOnce | AdditionMethod::Pairwise => {
+            if sequentialish {
+                for (r, m) in ms.iter_mut().enumerate() {
+                    let s = form_operand(&lp.uplan, r, &ga, &a, &utemps, ctx.additions, par);
+                    let t = form_operand(&lp.vplan, r, &gb, &b, &vtemps, ctx.additions, par);
+                    let (sv, su) = s.as_view();
+                    let (tv, tu) = t.as_view();
+                    scales[r] = su * tu;
+                    run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                }
+            } else {
+                let scale_slots: Vec<std::sync::atomic::AtomicU64> =
+                    (0..rank).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+                rayon::scope(|scope| {
+                    for (r, m) in ms.iter_mut().enumerate() {
+                        let utemps = &utemps;
+                        let vtemps = &vtemps;
+                        let slots = &scale_slots;
+                        scope.spawn(move |_| {
+                            // S/T formation is part of the task (§4.2),
+                            // hence sequential additions here.
+                            let s = form_operand(&lp.uplan, r, &ga, &a, utemps, ctx.additions, false);
+                            let t = form_operand(&lp.vplan, r, &gb, &b, vtemps, ctx.additions, false);
+                            let (sv, su) = s.as_view();
+                            let (tv, tu) = t.as_view();
+                            slots[r].store((su * tu).to_bits(), std::sync::atomic::Ordering::Relaxed);
+                            run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                        });
+                    }
+                });
+                for (r, slot) in scale_slots.iter().enumerate() {
+                    scales[r] = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
+                }
+            }
+        }
+    }
+
+    // Combine: C_ij = Σ_r w_ijr · scale_r · M_r.
+    combine_outputs(ctx, depth, lp, &ms, &scales, c, par);
+}
+
+/// Evaluate the W-side plan into the output blocks.
+fn combine_outputs(
+    ctx: &Ctx<'_>,
+    _depth: usize,
+    lp: &LevelPlan,
+    ms: &[Matrix],
+    scales: &[f64],
+    c: MatMut<'_>,
+    par: bool,
+) {
+    let gc = Grid::new(c.rows(), c.cols(), lp.m, lp.n);
+    let mut cblocks = gc.blocks_mut(c);
+    match ctx.additions {
+        AdditionMethod::WriteOnce => {
+            for (ij, cb) in cblocks.iter_mut().enumerate() {
+                let terms: Vec<(f64, MatRef<'_>)> = lp.wplan[ij]
+                    .iter()
+                    .map(|&(r, coef)| (coef * scales[r], ms[r].as_ref()))
+                    .collect();
+                if par {
+                    kernels::par_lincomb(cb.reborrow(), 0.0, &terms);
+                } else {
+                    kernels::lincomb(cb.reborrow(), 0.0, &terms);
+                }
+            }
+        }
+        AdditionMethod::Pairwise => {
+            for (ij, cb) in cblocks.iter_mut().enumerate() {
+                let chain = &lp.wplan[ij];
+                if chain.is_empty() {
+                    cb.fill(0.0);
+                    continue;
+                }
+                let (r0, c0) = chain[0];
+                if par {
+                    kernels::par_copy(cb.reborrow(), ms[r0].as_ref());
+                    if c0 * scales[r0] != 1.0 {
+                        kernels::scale(cb.reborrow(), c0 * scales[r0]);
+                    }
+                    for &(r, coef) in &chain[1..] {
+                        kernels::par_axpy(cb.reborrow(), coef * scales[r], ms[r].as_ref());
+                    }
+                } else {
+                    kernels::copy_scaled(cb.reborrow(), c0 * scales[r0], ms[r0].as_ref());
+                    for &(r, coef) in &chain[1..] {
+                        kernels::axpy(cb.reborrow(), coef * scales[r], ms[r].as_ref());
+                    }
+                }
+            }
+        }
+        AdditionMethod::Streaming => {
+            for cb in cblocks.iter_mut() {
+                cb.fill(0.0);
+            }
+            // Read each M_r once, updating every output block that uses it.
+            for (r, m) in ms.iter().enumerate() {
+                let mut refs: Vec<(f64, MatMut<'_>)> = Vec::new();
+                for (ij, cb) in cblocks.iter_mut().enumerate() {
+                    if let Some(&(_, coef)) = lp.wplan[ij].iter().find(|&&(rr, _)| rr == r) {
+                        refs.push((coef * scales[r], cb.reborrow()));
+                    }
+                }
+                if par {
+                    kernels::par_stream_update(&mut refs, m.as_ref());
+                } else {
+                    kernels::stream_update(&mut refs, m.as_ref());
+                }
+            }
+        }
+    }
+}

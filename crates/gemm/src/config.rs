@@ -1,0 +1,63 @@
+//! Blocking configuration for the packed gemm.
+
+/// Cache-blocking parameters in the GotoBLAS/BLIS taxonomy.
+///
+/// * `mc × kc` panels of `A` are packed to fit in L2,
+/// * `kc × nc` panels of `B` are packed to fit in L3 (or stay streamable),
+/// * the register microkernel computes an `MR × NR` tile of `C`.
+///
+/// `MR`/`NR` are compile-time constants ([`crate::packed::MR`],
+/// [`crate::packed::NR`]); the runtime parameters here are the loop tile
+/// sizes, exposed so the benchmark harness can ablate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Rows of the packed A panel.
+    pub mc: usize,
+    /// Shared (inner) dimension of both packed panels.
+    pub kc: usize,
+    /// Columns of the packed B panel.
+    pub nc: usize,
+    /// Problems with `max(m,k,n)` at or below this size skip packing and
+    /// use the direct small-kernel path (packing overhead dominates there).
+    pub small_cutoff: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        GemmConfig {
+            mc: 128,
+            kc: 256,
+            nc: 2048,
+            small_cutoff: 32,
+        }
+    }
+}
+
+impl GemmConfig {
+    /// Validate that the configuration is usable.
+    pub fn validated(self) -> Result<Self, String> {
+        if self.mc == 0 || self.kc == 0 || self.nc == 0 {
+            return Err("block sizes must be positive".into());
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(GemmConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn zero_block_rejected() {
+        let cfg = GemmConfig {
+            mc: 0,
+            ..GemmConfig::default()
+        };
+        assert!(cfg.validated().is_err());
+    }
+}

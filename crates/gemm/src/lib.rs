@@ -1,0 +1,84 @@
+//! Classical matrix multiplication substrate.
+//!
+//! The paper's experiments compare fast algorithms against Intel MKL's
+//! `dgemm`. MKL is proprietary and unavailable here, so this crate is the
+//! vendor-BLAS stand-in: a cache-blocked, operand-packing, register-tiled
+//! classical `dgemm` (in the BLIS/GotoBLAS style) with a rayon-parallel
+//! driver. It reproduces the *performance shape* the experiments rely on —
+//! a ramp-up phase followed by a flat plateau (paper Fig. 3) and a flop
+//! rate that dominates the bandwidth-bound additions — which is what
+//! determines recursion cutoffs and fast-vs-classical crossovers.
+//!
+//! The base-case call of every fast algorithm in `fmm-core` lands on
+//! [`gemm`] (sequential leaves, BFS scheme) or [`par_gemm`] (DFS/HYBRID
+//! leaves), exactly as the paper's generated code calls `dgemm` with one
+//! or all threads.
+
+mod config;
+mod naive;
+mod packed;
+mod parallel;
+
+pub use config::GemmConfig;
+pub use naive::naive_gemm;
+pub use packed::gemm_with;
+pub use parallel::{par_gemm, par_gemm_with};
+
+use fmm_matrix::{MatMut, MatRef};
+
+/// Sequential `C ← α·A·B + β·C` with the default blocking configuration.
+///
+/// Shapes: `A: m×k`, `B: k×n`, `C: m×n`.
+pub fn gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    gemm_with(&GemmConfig::default(), alpha, a, b, beta, c);
+}
+
+/// Convenience wrapper: `C = A·B` as a new owned matrix.
+pub fn matmul(a: &fmm_matrix::Matrix, b: &fmm_matrix::Matrix) -> fmm_matrix::Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let mut c = fmm_matrix::Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    c
+}
+
+/// Flop count of a classical `P × Q × R` multiply–accumulate
+/// (`2PQR − PR` when `β = 0`, matching Eq. 3's numerator).
+pub fn classical_flops(p: usize, q: usize, r: usize) -> f64 {
+    2.0 * p as f64 * q as f64 * r as f64 - (p as f64) * (r as f64)
+}
+
+/// Effective GFLOPS metric of the paper (Eq. 3): classical flop count of
+/// the problem divided by the measured time, regardless of the algorithm
+/// used. Lets classical and fast algorithms share an inverse-time scale.
+pub fn effective_gflops(p: usize, q: usize, r: usize, seconds: f64) -> f64 {
+    classical_flops(p, q, r) / seconds * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_matrix::Matrix;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let i4 = Matrix::identity(4);
+        assert_eq!(matmul(&a, &i4), a);
+        assert_eq!(matmul(&i4, &a), a);
+    }
+
+    #[test]
+    fn effective_gflops_metric() {
+        // 1000×1000×1000 in one second = (2e9 - 1e6) * 1e-9 effective GFLOPS.
+        let g = effective_gflops(1000, 1000, 1000, 1.0);
+        assert!((g - 1.999).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_shape_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

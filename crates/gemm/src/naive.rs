@@ -1,0 +1,89 @@
+//! Reference triple-loop gemm used as the correctness oracle.
+
+use fmm_matrix::{MatMut, MatRef};
+
+/// `C ← α·A·B + β·C`, textbook i-k-j loop order (no blocking, no
+/// packing). Every other multiply in the workspace is tested against
+/// this implementation.
+pub fn naive_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimension mismatch");
+    assert_eq!(c.rows(), m, "output rows mismatch");
+    assert_eq!(c.cols(), n, "output cols mismatch");
+
+    for i in 0..m {
+        let crow = c.row_mut(i);
+        if beta == 0.0 {
+            crow.iter_mut().for_each(|x| *x = 0.0);
+        } else if beta != 1.0 {
+            crow.iter_mut().for_each(|x| *x *= beta);
+        }
+    }
+    for i in 0..m {
+        let arow = a.row(i);
+        for p in 0..k {
+            let aip = alpha * arow[p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_matrix::Matrix;
+
+    #[test]
+    fn two_by_two_hand_check() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = Matrix::zeros(2, 2);
+        naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn alpha_beta_combination() {
+        let a = Matrix::identity(3);
+        let b = Matrix::filled(3, 3, 1.0);
+        let mut c = Matrix::filled(3, 3, 10.0);
+        naive_gemm(2.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        // C = 2*I*ones + 0.5*10 = 2 + 5
+        assert_eq!(c, Matrix::filled(3, 3, 7.0));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let mut c = Matrix::zeros(2, 4);
+        naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        for i in 0..2 {
+            for j in 0..4 {
+                let want: f64 = (0..3).map(|p| ((i + p) * (p * 4 + j)) as f64).sum();
+                assert_eq!(c[(i, j)], want);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut c = Matrix::zeros(0, 4);
+        naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let a2 = Matrix::zeros(2, 0);
+        let b2 = Matrix::zeros(0, 4);
+        let mut c2 = Matrix::filled(2, 4, 3.0);
+        naive_gemm(1.0, a2.as_ref(), b2.as_ref(), 0.0, c2.as_mut());
+        assert_eq!(c2, Matrix::zeros(2, 4)); // beta = 0 still clears C
+    }
+}

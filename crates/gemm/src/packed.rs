@@ -1,0 +1,283 @@
+//! Cache-blocked, operand-packing sequential gemm.
+//!
+//! Loop structure follows the GotoBLAS/BLIS design: the three outer loops
+//! tile `n` by `nc`, `k` by `kc` and `m` by `mc`; panels of `A` and `B`
+//! are packed into contiguous, microkernel-ordered buffers; the inner
+//! register kernel computes an `MR × NR` tile of `C` with local
+//! accumulators that LLVM keeps in vector registers.
+
+use crate::config::GemmConfig;
+use crate::naive::naive_gemm;
+use fmm_matrix::{MatMut, MatRef};
+
+/// Microkernel tile rows.
+pub const MR: usize = 4;
+/// Microkernel tile columns.
+pub const NR: usize = 8;
+
+/// Sequential `C ← α·A·B + β·C` with explicit blocking configuration.
+pub fn gemm_with(
+    cfg: &GemmConfig,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimension mismatch");
+    assert_eq!(c.rows(), m, "output rows mismatch");
+    assert_eq!(c.cols(), n, "output cols mismatch");
+
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Apply beta once up front; all panel updates below accumulate.
+    if beta == 0.0 {
+        for i in 0..m {
+            c.row_mut(i).iter_mut().for_each(|x| *x = 0.0);
+        }
+    } else if beta != 1.0 {
+        for i in 0..m {
+            c.row_mut(i).iter_mut().for_each(|x| *x *= beta);
+        }
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    if m.max(n).max(k) <= cfg.small_cutoff {
+        // Packing overhead dominates tiny products; accumulate directly.
+        naive_gemm(alpha, a, b, 1.0, c);
+        return;
+    }
+
+    let mut apack = vec![0.0f64; cfg.mc.div_ceil(MR) * MR * cfg.kc];
+    let mut bpack = vec![0.0f64; cfg.kc * cfg.nc.div_ceil(NR) * NR];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc_eff = cfg.nc.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc_eff = cfg.kc.min(k - pc);
+            pack_b(&mut bpack, &b, pc, jc, kc_eff, nc_eff);
+            let mut ic = 0;
+            while ic < m {
+                let mc_eff = cfg.mc.min(m - ic);
+                pack_a(&mut apack, &a, ic, pc, mc_eff, kc_eff, alpha);
+                macro_kernel(
+                    &apack,
+                    &bpack,
+                    c.reborrow().into_block(ic, jc, mc_eff, nc_eff),
+                    mc_eff,
+                    nc_eff,
+                    kc_eff,
+                );
+                ic += mc_eff;
+            }
+            pc += kc_eff;
+        }
+        jc += nc_eff;
+    }
+}
+
+/// Pack `mc × kc` of `A` (starting at `(ic, pc)`) into MR-row micro-panels,
+/// folding `alpha` into the packed values. Ragged edges are zero-padded.
+fn pack_a(buf: &mut [f64], a: &MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, alpha: f64) {
+    let mut idx = 0;
+    let mut i0 = 0;
+    while i0 < mc {
+        let mr_eff = MR.min(mc - i0);
+        for p in 0..kc {
+            for i in 0..MR {
+                buf[idx] = if i < mr_eff {
+                    alpha * a.get(ic + i0 + i, pc + p)
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        i0 += MR;
+    }
+}
+
+/// Pack `kc × nc` of `B` (starting at `(pc, jc)`) into NR-column
+/// micro-panels. Ragged edges are zero-padded.
+fn pack_b(buf: &mut [f64], b: &MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize) {
+    let mut idx = 0;
+    let mut j0 = 0;
+    while j0 < nc {
+        let nr_eff = NR.min(nc - j0);
+        for p in 0..kc {
+            let brow = b.row(pc + p);
+            for j in 0..NR {
+                buf[idx] = if j < nr_eff { brow[jc + j0 + j] } else { 0.0 };
+                idx += 1;
+            }
+        }
+        j0 += NR;
+    }
+}
+
+/// Multiply the packed panels into the `mc × nc` block of `C`.
+fn macro_kernel(apack: &[f64], bpack: &[f64], mut c: MatMut<'_>, mc: usize, nc: usize, kc: usize) {
+    let mut j0 = 0;
+    let mut bcol = 0;
+    while j0 < nc {
+        let nr_eff = NR.min(nc - j0);
+        let bpanel = &bpack[bcol * kc * NR..(bcol + 1) * kc * NR];
+        let mut i0 = 0;
+        let mut arow = 0;
+        while i0 < mc {
+            let mr_eff = MR.min(mc - i0);
+            let apanel = &apack[arow * kc * MR..(arow + 1) * kc * MR];
+            micro_kernel(
+                apanel,
+                bpanel,
+                kc,
+                c.reborrow().into_block(i0, j0, mr_eff, nr_eff),
+                mr_eff,
+                nr_eff,
+            );
+            i0 += MR;
+            arow += 1;
+        }
+        j0 += NR;
+        bcol += 1;
+    }
+}
+
+/// `MR × NR` register tile: `C_tile += Apanel · Bpanel`.
+#[inline]
+fn micro_kernel(
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    mut c: MatMut<'_>,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    debug_assert!(apanel.len() >= kc * MR);
+    debug_assert!(bpanel.len() >= kc * NR);
+    for p in 0..kc {
+        let arow = &apanel[p * MR..p * MR + MR];
+        let brow = &bpanel[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let aip = arow[i];
+            let acc_i = &mut acc[i];
+            for j in 0..NR {
+                acc_i[j] += aip * brow[j];
+            }
+        }
+    }
+    for i in 0..mr_eff {
+        let crow = c.row_mut(i);
+        for j in 0..nr_eff {
+            crow[j] += acc[i][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_matrix::{max_abs_diff, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check(m: usize, k: usize, n: usize, alpha: f64, beta: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let c0 = Matrix::random(m, n, &mut rng);
+        let mut c_ref = c0.clone();
+        let mut c_pack = c0.clone();
+        naive_gemm(alpha, a.as_ref(), b.as_ref(), beta, c_ref.as_mut());
+        gemm_with(
+            &GemmConfig::default(),
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            c_pack.as_mut(),
+        );
+        let d = max_abs_diff(&c_ref.as_ref(), &c_pack.as_ref()).unwrap();
+        assert!(
+            d < 1e-10 * (k as f64).max(1.0),
+            "mismatch {d} for {m}x{k}x{n} α={alpha} β={beta}"
+        );
+    }
+
+    #[test]
+    fn matches_naive_on_assorted_shapes() {
+        check(1, 1, 1, 1.0, 0.0, 1);
+        check(4, 8, 4, 1.0, 0.0, 2);
+        check(33, 65, 47, 1.0, 0.0, 3);
+        check(128, 128, 128, 1.0, 0.0, 4);
+        check(200, 30, 170, 1.0, 0.0, 5);
+        check(31, 257, 63, 1.0, 0.0, 6);
+    }
+
+    #[test]
+    fn alpha_beta_paths() {
+        check(50, 50, 50, 2.0, 1.0, 7);
+        check(50, 50, 50, -0.5, 0.5, 8);
+        check(50, 50, 50, 0.0, 2.0, 9);
+        check(7, 7, 7, 1.0, 1.0, 10);
+    }
+
+    #[test]
+    fn tiny_blocks_configuration() {
+        // Exercise many panel edges with deliberately small tiles.
+        let cfg = GemmConfig {
+            mc: 8,
+            kc: 8,
+            nc: 16,
+            small_cutoff: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::random(37, 29, &mut rng);
+        let b = Matrix::random(29, 41, &mut rng);
+        let mut c1 = Matrix::zeros(37, 41);
+        let mut c2 = Matrix::zeros(37, 41);
+        naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c1.as_mut());
+        gemm_with(&cfg, 1.0, a.as_ref(), b.as_ref(), 0.0, c2.as_mut());
+        assert!(max_abs_diff(&c1.as_ref(), &c2.as_ref()).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn strided_views_multiply_correctly() {
+        // Multiply interior blocks of larger matrices to exercise strides.
+        let mut rng = StdRng::seed_from_u64(12);
+        let abig = Matrix::random(80, 80, &mut rng);
+        let bbig = Matrix::random(80, 80, &mut rng);
+        let a = abig.block(5, 7, 40, 33);
+        let b = bbig.block(2, 3, 33, 50);
+        let mut c1 = Matrix::zeros(40, 50);
+        let mut c2 = Matrix::zeros(40, 50);
+        naive_gemm(1.0, a, b, 0.0, c1.as_mut());
+        gemm_with(&GemmConfig::default(), 1.0, a, b, 0.0, c2.as_mut());
+        assert!(max_abs_diff(&c1.as_ref(), &c2.as_ref()).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn zero_k_clears_output_when_beta_zero() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::filled(3, 3, 9.0);
+        gemm_with(
+            &GemmConfig::default(),
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(c, Matrix::zeros(3, 3));
+    }
+}

@@ -1,0 +1,127 @@
+//! Rayon-parallel gemm driver.
+//!
+//! Splits the output recursively along its longer dimension until the
+//! current rayon pool's parallelism is saturated, then runs the packed
+//! sequential kernel on each piece. Running inside a caller-provided
+//! `rayon::ThreadPool` (via `pool.install`) controls the core count —
+//! this is how the harness reproduces the paper's 6-core vs 24-core
+//! sweeps at this machine's scale.
+
+use crate::config::GemmConfig;
+use crate::packed::gemm_with;
+use fmm_matrix::{MatMut, MatRef};
+
+/// Below this many output elements a split is never worthwhile.
+const MIN_PAR_ELEMS: usize = 64 * 64;
+
+/// Parallel `C ← α·A·B + β·C` using the current rayon pool and the
+/// default blocking configuration.
+pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    par_gemm_with(&GemmConfig::default(), alpha, a, b, beta, c);
+}
+
+/// Parallel gemm with explicit blocking configuration.
+pub fn par_gemm_with(
+    cfg: &GemmConfig,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    assert_eq!(b.rows(), a.cols(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "output cols mismatch");
+    let ways = rayon::current_num_threads();
+    split_run(cfg, alpha, a, b, beta, c, ways);
+}
+
+fn split_run(
+    cfg: &GemmConfig,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+    ways: usize,
+) {
+    let (m, n) = (c.rows(), c.cols());
+    if ways <= 1 || m * n <= MIN_PAR_ELEMS || (m < 2 && n < 2) {
+        gemm_with(cfg, alpha, a, b, beta, c);
+        return;
+    }
+    let lo_ways = ways / 2;
+    let hi_ways = ways - lo_ways;
+    if m >= n {
+        let mid = m / 2;
+        let (ctop, cbot) = c.split_at_row(mid);
+        let atop = a.block(0, 0, mid, a.cols());
+        let abot = a.block(mid, 0, m - mid, a.cols());
+        rayon::join(
+            || split_run(cfg, alpha, atop, b, beta, ctop, hi_ways),
+            || split_run(cfg, alpha, abot, b, beta, cbot, lo_ways),
+        );
+    } else {
+        let mid = n / 2;
+        let (cleft, cright) = c.split_at_col(mid);
+        let bleft = b.block(0, 0, b.rows(), mid);
+        let bright = b.block(0, mid, b.rows(), n - mid);
+        rayon::join(
+            || split_run(cfg, alpha, a, bleft, beta, cleft, hi_ways),
+            || split_run(cfg, alpha, a, bright, beta, cright, lo_ways),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_gemm;
+    use fmm_matrix::{max_abs_diff, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in &[(64usize, 64usize, 64usize), (301, 97, 403), (150, 300, 40)] {
+            let a = Matrix::random(m, k, &mut rng);
+            let b = Matrix::random(k, n, &mut rng);
+            let mut c1 = Matrix::zeros(m, n);
+            let mut c2 = Matrix::zeros(m, n);
+            naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c1.as_mut());
+            par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c2.as_mut());
+            let d = max_abs_diff(&c1.as_ref(), &c2.as_ref()).unwrap();
+            assert!(d < 1e-10 * k as f64, "mismatch {d} at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_beta_accumulation() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Matrix::random(200, 64, &mut rng);
+        let b = Matrix::random(64, 200, &mut rng);
+        let c0 = Matrix::random(200, 200, &mut rng);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        naive_gemm(1.5, a.as_ref(), b.as_ref(), -1.0, c1.as_mut());
+        par_gemm(1.5, a.as_ref(), b.as_ref(), -1.0, c2.as_mut());
+        assert!(max_abs_diff(&c1.as_ref(), &c2.as_ref()).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn runs_inside_small_pool() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::random(100, 100, &mut rng);
+        let b = Matrix::random(100, 100, &mut rng);
+        let mut c1 = Matrix::zeros(100, 100);
+        let mut c2 = Matrix::zeros(100, 100);
+        naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c1.as_mut());
+        pool.install(|| par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c2.as_mut()));
+        assert!(max_abs_diff(&c1.as_ref(), &c2.as_ref()).unwrap() < 1e-10);
+    }
+}

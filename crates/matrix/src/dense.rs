@@ -1,0 +1,326 @@
+//! Owned dense row-major matrix.
+
+use crate::view::{MatMut, MatRef};
+use rand::Rng;
+use std::fmt;
+
+/// An owned, dense, row-major matrix of `f64` values.
+///
+/// Entry `(i, j)` lives at `data[i * cols + j]`. The row-major layout
+/// matches the row-wise vectorization used by the tensor formulation of
+/// matrix multiplication (paper §2.2.2), so `vec(A)` is simply the backing
+/// slice of `A`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` matrix with every entry equal to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a generator function on `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from nested row slices; rows must be equal length.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// A matrix with i.i.d. entries drawn uniformly from `[-1, 1)`.
+    ///
+    /// Used by every workload generator in the experiment harness; the
+    /// paper benchmarks on random dense matrices.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Backing row-major slice (`vec(A)` in the paper's notation).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable full view of the matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef::from_slice(&self.data, self.rows, self.cols, self.cols)
+    }
+
+    /// Mutable full view of the matrix.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut::from_slice(&mut self.data, self.rows, self.cols, self.cols)
+    }
+
+    /// Immutable view of the `rr × cc` block whose top-left corner is `(r0, c0)`.
+    #[inline]
+    pub fn block(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'_> {
+        self.as_ref().block(r0, c0, rr, cc)
+    }
+
+    /// Mutable view of the `rr × cc` block whose top-left corner is `(r0, c0)`.
+    #[inline]
+    pub fn block_mut(&mut self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'_> {
+        let cols = self.cols;
+        MatMut::from_slice(&mut self.data, self.rows, cols, cols).into_block(r0, c0, rr, cc)
+    }
+
+    /// The transpose as a new owned matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Set every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Number of entries whose magnitude exceeds `tol`.
+    ///
+    /// This is the `nnz(·)` of the paper (Table 1) when applied to factor
+    /// matrices of a decomposition.
+    pub fn nnz(&self, tol: f64) -> usize {
+        self.data.iter().filter(|x| x.abs() > tol).count()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` collected into a vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            let show_cols = self.cols.min(10);
+            for j in 0..show_cols {
+                write!(f, "{:9.4} ", self[(i, j)])?;
+            }
+            if self.cols > show_cols {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m[(2, 1)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::random(5, 3, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_counts_threshold() {
+        let m = Matrix::from_vec(1, 4, vec![0.0, 1e-14, -2.0, 0.5]);
+        assert_eq!(m.nnz(1e-12), 2);
+        assert_eq!(m.nnz(0.6), 1);
+    }
+
+    #[test]
+    fn block_view_addresses_submatrix() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let b = m.block(1, 2, 2, 2);
+        assert_eq!(b.get(0, 0), 6.0);
+        assert_eq!(b.get(1, 1), 11.0);
+    }
+
+    #[test]
+    fn block_mut_writes_through() {
+        let mut m = Matrix::zeros(3, 3);
+        {
+            let mut b = m.block_mut(1, 1, 2, 2);
+            b.set(0, 0, 5.0);
+            b.set(1, 1, 7.0);
+        }
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m[(2, 2)], 7.0);
+    }
+
+    #[test]
+    fn random_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = Matrix::random(10, 10, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn scale_and_fill_zero() {
+        let mut m = Matrix::filled(2, 2, 3.0);
+        m.scale(2.0);
+        assert_eq!(m[(1, 1)], 6.0);
+        m.fill_zero();
+        assert_eq!(m, Matrix::zeros(2, 2));
+    }
+}

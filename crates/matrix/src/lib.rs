@@ -1,0 +1,106 @@
+//! Dense matrix substrate for the fast matrix multiplication workspace.
+//!
+//! This crate provides the storage layer every other crate builds on:
+//!
+//! * [`Matrix`] — an owned, dense, **row-major** `f64` matrix. Row-major
+//!   matches the row-wise vectorization `vec(A)` used throughout the paper
+//!   (Benson & Ballard, PPoPP 2015, §2.2.2), so entry `(i, j)` of an
+//!   `M × K` matrix is element `i*K + j` of its vectorization.
+//! * [`MatRef`] / [`MatMut`] — borrowed, possibly strided views used to
+//!   address submatrix blocks without copying. All recursive block
+//!   arithmetic in `fmm-core` operates on views.
+//! * [`kernels`] — the bandwidth-bound addition kernels (`axpy`,
+//!   write-once linear combinations, streaming scatter updates) that
+//!   implement the three addition strategies of §3.2, in both sequential
+//!   and rayon-parallel forms.
+//! * [`partition`] — block-grid partitioning and the dynamic-peeling
+//!   split (§3.5) used to handle arbitrary matrix dimensions.
+
+mod dense;
+mod view;
+pub mod kernels;
+pub mod partition;
+
+pub use dense::Matrix;
+pub use view::{MatMut, MatRef};
+
+/// Maximum absolute difference between two equally-sized matrices.
+///
+/// Returns `None` when shapes differ.
+pub fn max_abs_diff(a: &MatRef<'_>, b: &MatRef<'_>) -> Option<f64> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return None;
+    }
+    let mut m = 0.0f64;
+    for i in 0..a.rows() {
+        let ra = a.row(i);
+        let rb = b.row(i);
+        for j in 0..a.cols() {
+            let d = (ra[j] - rb[j]).abs();
+            if d > m {
+                m = d;
+            }
+        }
+    }
+    Some(m)
+}
+
+/// Frobenius norm of a matrix view.
+pub fn frobenius(a: &MatRef<'_>) -> f64 {
+    let mut s = 0.0f64;
+    for i in 0..a.rows() {
+        for &x in a.row(i) {
+            s += x * x;
+        }
+    }
+    s.sqrt()
+}
+
+/// Relative forward error `‖A − B‖_F / ‖B‖_F` with `B` the reference.
+///
+/// When the reference has a (near-)zero norm this falls back to the
+/// absolute Frobenius norm of the difference.
+pub fn relative_error(a: &MatRef<'_>, reference: &MatRef<'_>) -> f64 {
+    assert_eq!(a.rows(), reference.rows(), "row mismatch");
+    assert_eq!(a.cols(), reference.cols(), "col mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for i in 0..a.rows() {
+        let ra = a.row(i);
+        let rb = reference.row(i);
+        for j in 0..a.cols() {
+            let d = ra[j] - rb[j];
+            num += d * d;
+            den += rb[j] * rb[j];
+        }
+    }
+    if den <= f64::MIN_POSITIVE {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        assert!(max_abs_diff(&a.as_ref(), &b.as_ref()).is_none());
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        let a = Matrix::from_fn(4, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(relative_error(&a.as_ref(), &a.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn frobenius_of_ones() {
+        let a = Matrix::filled(3, 3, 1.0);
+        assert!((frobenius(&a.as_ref()) - 3.0).abs() < 1e-14);
+    }
+}

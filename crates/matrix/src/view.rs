@@ -1,0 +1,403 @@
+//! Borrowed, possibly strided matrix views.
+//!
+//! Recursive fast algorithms address submatrix blocks of the operands
+//! without copying; these views carry a leading dimension (`stride`) so a
+//! block of a larger row-major matrix is itself a matrix view. `MatRef`
+//! is `Copy` and freely shareable; `MatMut` is an exclusive view that can
+//! be *split* into disjoint pieces (rows, columns, or a full block grid)
+//! so independent tasks may write different output blocks in parallel.
+
+use std::marker::PhantomData;
+
+/// Immutable strided matrix view.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    ptr: *const f64,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    _marker: PhantomData<&'a f64>,
+}
+
+// SAFETY: `MatRef` is a read-only view with the aliasing rules of `&[f64]`.
+unsafe impl Send for MatRef<'_> {}
+unsafe impl Sync for MatRef<'_> {}
+
+impl<'a> MatRef<'a> {
+    /// View over a row-major buffer with leading dimension `stride`.
+    ///
+    /// # Panics
+    /// Panics when the buffer is too short for the described view.
+    pub fn from_slice(buf: &'a [f64], rows: usize, cols: usize, stride: usize) -> Self {
+        if rows > 0 && cols > 0 {
+            assert!(stride >= cols, "stride {stride} < cols {cols}");
+            assert!(
+                (rows - 1) * stride + cols <= buf.len(),
+                "buffer too short: need {} have {}",
+                (rows - 1) * stride + cols,
+                buf.len()
+            );
+        }
+        MatRef {
+            ptr: buf.as_ptr(),
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (distance in elements between row starts).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        // SAFETY: bounds are checked in debug; the view invariant
+        // guarantees the offset is in the borrowed buffer.
+        unsafe { *self.ptr.add(i * self.stride + j) }
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        debug_assert!(i < self.rows);
+        // SAFETY: row `i` spans `cols` contiguous elements inside the
+        // borrowed buffer by the view invariant.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.stride), self.cols) }
+    }
+
+    /// Sub-block of size `rr × cc` with top-left corner `(r0, c0)`.
+    #[inline]
+    pub fn block(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'a> {
+        assert!(r0 + rr <= self.rows, "row block out of range");
+        assert!(c0 + cc <= self.cols, "col block out of range");
+        MatRef {
+            // SAFETY: the new origin stays within the original view.
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows: rr,
+            cols: cc,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Copy the view into an owned [`crate::Matrix`].
+    pub fn to_matrix(&self) -> crate::Matrix {
+        crate::Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+/// Exclusive strided matrix view.
+pub struct MatMut<'a> {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    _marker: PhantomData<&'a mut f64>,
+}
+
+// SAFETY: `MatMut` has the aliasing rules of `&mut [f64]`: it is an
+// exclusive view, so sending it to another thread is sound.
+unsafe impl Send for MatMut<'_> {}
+
+impl<'a> MatMut<'a> {
+    /// Exclusive view over a row-major buffer with leading dimension `stride`.
+    ///
+    /// # Panics
+    /// Panics when the buffer is too short for the described view.
+    pub fn from_slice(buf: &'a mut [f64], rows: usize, cols: usize, stride: usize) -> Self {
+        if rows > 0 && cols > 0 {
+            assert!(stride >= cols, "stride {stride} < cols {cols}");
+            assert!(
+                (rows - 1) * stride + cols <= buf.len(),
+                "buffer too short: need {} have {}",
+                (rows - 1) * stride + cols,
+                buf.len()
+            );
+        }
+        MatMut {
+            ptr: buf.as_mut_ptr(),
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        // SAFETY: in-bounds by the view invariant.
+        unsafe { *self.ptr.add(i * self.stride + j) }
+    }
+
+    /// Write entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        // SAFETY: in-bounds by the view invariant; exclusive access.
+        unsafe { *self.ptr.add(i * self.stride + j) = v }
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        // SAFETY: row `i` spans `cols` contiguous in-bounds elements and
+        // `&mut self` guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.stride), self.cols) }
+    }
+
+    /// Immutable snapshot of this view (for reading while holding it).
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reborrow with a shorter lifetime so the view can be used again
+    /// after passing a value to a kernel.
+    #[inline]
+    pub fn reborrow(&mut self) -> MatMut<'_> {
+        MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Consume the view, producing the sub-block `rr × cc` at `(r0, c0)`.
+    pub fn into_block(self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'a> {
+        assert!(r0 + rr <= self.rows, "row block out of range");
+        assert!(c0 + cc <= self.cols, "col block out of range");
+        MatMut {
+            // SAFETY: the new origin stays within the original view and
+            // `self` is consumed, preserving exclusivity.
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows: rr,
+            cols: cc,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into top (`..mid`) and bottom (`mid..`) row ranges.
+    pub fn split_at_row(self, mid: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(mid <= self.rows, "split row out of range");
+        let top = MatMut {
+            ptr: self.ptr,
+            rows: mid,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        let bot = MatMut {
+            // SAFETY: rows `mid..` start `mid * stride` elements in; the
+            // two views cover disjoint rows.
+            ptr: unsafe { self.ptr.add(mid * self.stride) },
+            rows: self.rows - mid,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        (top, bot)
+    }
+
+    /// Split into left (`..mid`) and right (`mid..`) column ranges.
+    pub fn split_at_col(self, mid: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(mid <= self.cols, "split col out of range");
+        let left = MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: mid,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        let right = MatMut {
+            // SAFETY: columns `mid..` are disjoint elements from `..mid`
+            // even though rows interleave in memory.
+            ptr: unsafe { self.ptr.add(mid) },
+            rows: self.rows,
+            cols: self.cols - mid,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        (left, right)
+    }
+
+    /// Partition into an `row_cuts.len()+1 × col_cuts.len()+1` grid of
+    /// disjoint mutable blocks, row-major order.
+    ///
+    /// `row_cuts`/`col_cuts` are strictly increasing interior cut points.
+    pub fn split_grid(self, row_cuts: &[usize], col_cuts: &[usize]) -> Vec<MatMut<'a>> {
+        let mut rbounds = Vec::with_capacity(row_cuts.len() + 2);
+        rbounds.push(0);
+        rbounds.extend_from_slice(row_cuts);
+        rbounds.push(self.rows);
+        let mut cbounds = Vec::with_capacity(col_cuts.len() + 2);
+        cbounds.push(0);
+        cbounds.extend_from_slice(col_cuts);
+        cbounds.push(self.cols);
+        for w in rbounds.windows(2) {
+            assert!(w[0] <= w[1], "row cuts must be non-decreasing");
+        }
+        for w in cbounds.windows(2) {
+            assert!(w[0] <= w[1], "col cuts must be non-decreasing");
+        }
+        assert!(*rbounds.last().unwrap() == self.rows);
+        assert!(*cbounds.last().unwrap() == self.cols);
+
+        let mut out = Vec::with_capacity((rbounds.len() - 1) * (cbounds.len() - 1));
+        for ri in 0..rbounds.len() - 1 {
+            for ci in 0..cbounds.len() - 1 {
+                let (r0, r1) = (rbounds[ri], rbounds[ri + 1]);
+                let (c0, c1) = (cbounds[ci], cbounds[ci + 1]);
+                out.push(MatMut {
+                    // SAFETY: grid cells are pairwise disjoint element
+                    // sets of the original exclusive view (disjoint row
+                    // ranges or disjoint column ranges), and `self` is
+                    // consumed so no other access exists.
+                    ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+                    rows: r1 - r0,
+                    cols: c1 - c0,
+                    stride: self.stride,
+                    _marker: PhantomData,
+                });
+            }
+        }
+        out
+    }
+
+    /// Fill the viewed block with a constant.
+    pub fn fill(&mut self, v: f64) {
+        for i in 0..self.rows {
+            self.row_mut(i).iter_mut().for_each(|x| *x = v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn ref_block_of_block() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let b = m.block(1, 1, 4, 4);
+        let bb = b.block(1, 1, 2, 2);
+        assert_eq!(bb.get(0, 0), m[(2, 2)]);
+        assert_eq!(bb.get(1, 1), m[(3, 3)]);
+    }
+
+    #[test]
+    fn mut_split_rows_disjoint_writes() {
+        let mut m = Matrix::zeros(4, 3);
+        let (mut top, mut bot) = m.as_mut().split_at_row(2);
+        top.fill(1.0);
+        bot.fill(2.0);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 1.0);
+        assert_eq!(m[(2, 0)], 2.0);
+        assert_eq!(m[(3, 2)], 2.0);
+    }
+
+    #[test]
+    fn mut_split_cols_disjoint_writes() {
+        let mut m = Matrix::zeros(3, 4);
+        let (mut l, mut r) = m.as_mut().split_at_col(1);
+        l.fill(-1.0);
+        r.fill(4.0);
+        assert_eq!(m[(2, 0)], -1.0);
+        assert_eq!(m[(0, 1)], 4.0);
+        assert_eq!(m[(2, 3)], 4.0);
+    }
+
+    #[test]
+    fn grid_partition_covers_matrix() {
+        let mut m = Matrix::zeros(5, 7);
+        let blocks = m.as_mut().split_grid(&[2], &[3, 5]);
+        assert_eq!(blocks.len(), 6);
+        for (idx, mut b) in blocks.into_iter().enumerate() {
+            b.fill(idx as f64 + 1.0);
+        }
+        // every entry written exactly once, no zeros left
+        assert!(m.as_slice().iter().all(|&x| x != 0.0));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 3)], 2.0);
+        assert_eq!(m[(0, 6)], 3.0);
+        assert_eq!(m[(4, 0)], 4.0);
+        assert_eq!(m[(4, 4)], 5.0);
+        assert_eq!(m[(4, 6)], 6.0);
+    }
+
+    #[test]
+    fn row_slices_match_indexing() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+        let v = m.as_ref();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(v.row(i)[j], v.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn to_matrix_round_trip() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let b = m.block(1, 1, 2, 3).to_matrix();
+        assert_eq!(b.shape(), (2, 3));
+        assert_eq!(b[(0, 0)], m[(1, 1)]);
+        assert_eq!(b[(1, 2)], m[(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_out_of_range_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.block(1, 1, 2, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Development scratch: probe ALS convergence on small targets.
+use fmm_search::{search, AlsOptions};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (m, k, n, rank, restarts): (usize, usize, usize, usize, usize) = if args.len() >= 6 {
+        (
+            args[1].parse().unwrap(),
+            args[2].parse().unwrap(),
+            args[3].parse().unwrap(),
+            args[4].parse().unwrap(),
+            args[5].parse().unwrap(),
+        )
+    } else {
+        (2, 2, 2, 7, 40)
+    };
+    let opts = AlsOptions::default();
+    let t0 = Instant::now();
+    match search(m, k, n, rank, restarts, 1000, &opts) {
+        Some(res) => println!(
+            "⟨{m},{k},{n}⟩ rank {rank}: residual {:.3e} discrete {} restarts {} [{:.1?}]",
+            res.residual,
+            res.discrete,
+            res.restarts_used,
+            t0.elapsed()
+        ),
+        None => println!("⟨{m},{k},{n}⟩ rank {rank}: NOT FOUND in {restarts} restarts [{:.1?}]", t0.elapsed()),
+    }
+}

@@ -1,0 +1,291 @@
+//! Development tool: verify (and if needed, repair) a hand-transcribed
+//! Laderman ⟨3,3,3⟩ rank-23 candidate, then print it as Rust literals.
+
+use fmm_matrix::Matrix;
+use fmm_search::{repair, AlsOptions};
+use fmm_tensor::Decomposition;
+
+/// Build U,V,W from product definitions: each product is a list of
+/// (A-entry, coef) and (B-entry, coef); each output C-entry lists
+/// (product index, coef). Entries are 1-indexed (i,j) pairs.
+fn build(
+    products: &[(Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>)],
+    outputs: &[Vec<(usize, f64)>],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Decomposition {
+    let r = products.len();
+    let mut u = Matrix::zeros(m * k, r);
+    let mut v = Matrix::zeros(k * n, r);
+    let mut w = Matrix::zeros(m * n, r);
+    for (c, (aterms, bterms)) in products.iter().enumerate() {
+        for &(i, j, coef) in aterms {
+            u[((i - 1) * k + (j - 1), c)] = coef;
+        }
+        for &(i, j, coef) in bterms {
+            v[((i - 1) * n + (j - 1), c)] = coef;
+        }
+    }
+    for (idx, combo) in outputs.iter().enumerate() {
+        for &(p, coef) in combo {
+            w[(idx, p - 1)] = coef;
+        }
+    }
+    Decomposition::new(m, k, n, u, v, w)
+}
+
+fn a(i: usize, j: usize, c: f64) -> (usize, usize, f64) {
+    (i, j, c)
+}
+
+fn print_matrix(name: &str, m: &Matrix) {
+    println!("let {name} = Matrix::from_rows(&[");
+    for i in 0..m.rows() {
+        let row: Vec<String> = (0..m.cols()).map(|j| format!("{:.1}", m[(i, j)])).collect();
+        println!("    &[{}],", row.join(", "));
+    }
+    println!("]);");
+}
+
+fn main() {
+    // Best-recall transcription of Laderman (1976), 23 products.
+    let products: Vec<(Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>)> = vec![
+        // m1 = (a11 + a12 + a13 - a21 - a22 - a32 - a33) b22
+        (
+            vec![
+                a(1, 1, 1.0), a(1, 2, 1.0), a(1, 3, 1.0),
+                a(2, 1, -1.0), a(2, 2, -1.0), a(3, 2, -1.0), a(3, 3, -1.0),
+            ],
+            vec![a(2, 2, 1.0)],
+        ),
+        // m2 = (a11 - a21)(-b12 + b22)
+        (vec![a(1, 1, 1.0), a(2, 1, -1.0)], vec![a(1, 2, -1.0), a(2, 2, 1.0)]),
+        // m3 = a22 (-b11 + b21 + b22 - b23 - b31)   [uncertain]
+        (
+            vec![a(2, 2, 1.0)],
+            vec![a(1, 1, -1.0), a(2, 1, 1.0), a(2, 2, 1.0), a(2, 3, -1.0), a(3, 1, -1.0)],
+        ),
+        // m4 = (-a11 + a21 + a22)(b11 - b12 + b22)
+        (
+            vec![a(1, 1, -1.0), a(2, 1, 1.0), a(2, 2, 1.0)],
+            vec![a(1, 1, 1.0), a(1, 2, -1.0), a(2, 2, 1.0)],
+        ),
+        // m5 = (a21 + a22)(-b11 + b12)
+        (vec![a(2, 1, 1.0), a(2, 2, 1.0)], vec![a(1, 1, -1.0), a(1, 2, 1.0)]),
+        // m6 = a11 b11
+        (vec![a(1, 1, 1.0)], vec![a(1, 1, 1.0)]),
+        // m7 = (-a11 + a31 + a32)(b11 - b13 + b23)
+        (
+            vec![a(1, 1, -1.0), a(3, 1, 1.0), a(3, 2, 1.0)],
+            vec![a(1, 1, 1.0), a(1, 3, -1.0), a(2, 3, 1.0)],
+        ),
+        // m8 = (-a11 + a31)(b13 - b23)
+        (vec![a(1, 1, -1.0), a(3, 1, 1.0)], vec![a(1, 3, 1.0), a(2, 3, -1.0)]),
+        // m9 = (a31 + a32)(-b11 + b13)
+        (vec![a(3, 1, 1.0), a(3, 2, 1.0)], vec![a(1, 1, -1.0), a(1, 3, 1.0)]),
+        // m10 = (a11 + a12 + a13 - a22 - a23 - a31 - a32) b23
+        (
+            vec![
+                a(1, 1, 1.0), a(1, 2, 1.0), a(1, 3, 1.0),
+                a(2, 2, -1.0), a(2, 3, -1.0), a(3, 1, -1.0), a(3, 2, -1.0),
+            ],
+            vec![a(2, 3, 1.0)],
+        ),
+        // m11 = a32 (-b11 + b21 + b23 - b31 - b33)   [uncertain]
+        (
+            vec![a(3, 2, 1.0)],
+            vec![a(1, 1, -1.0), a(2, 1, 1.0), a(2, 3, 1.0), a(3, 1, -1.0), a(3, 3, -1.0)],
+        ),
+        // m12 = (-a13 + a32 + a33)(b22 + b31 - b32)
+        (
+            vec![a(1, 3, -1.0), a(3, 2, 1.0), a(3, 3, 1.0)],
+            vec![a(2, 2, 1.0), a(3, 1, 1.0), a(3, 2, -1.0)],
+        ),
+        // m13 = (a13 - a33)(b22 - b32)
+        (vec![a(1, 3, 1.0), a(3, 3, -1.0)], vec![a(2, 2, 1.0), a(3, 2, -1.0)]),
+        // m14 = a13 b31
+        (vec![a(1, 3, 1.0)], vec![a(3, 1, 1.0)]),
+        // m15 = (a32 + a33)(-b31 + b32)
+        (vec![a(3, 2, 1.0), a(3, 3, 1.0)], vec![a(3, 1, -1.0), a(3, 2, 1.0)]),
+        // m16 = (-a13 + a22 + a23)(b23 + b31 - b33)
+        (
+            vec![a(1, 3, -1.0), a(2, 2, 1.0), a(2, 3, 1.0)],
+            vec![a(2, 3, 1.0), a(3, 1, 1.0), a(3, 3, -1.0)],
+        ),
+        // m17 = (a13 - a23)(b23 - b33)
+        (vec![a(1, 3, 1.0), a(2, 3, -1.0)], vec![a(2, 3, 1.0), a(3, 3, -1.0)]),
+        // m18 = (a22 + a23)(-b31 + b33)
+        (vec![a(2, 2, 1.0), a(2, 3, 1.0)], vec![a(3, 1, -1.0), a(3, 3, 1.0)]),
+        // m19 = a12 b21
+        (vec![a(1, 2, 1.0)], vec![a(2, 1, 1.0)]),
+        // m20 = a23 b32
+        (vec![a(2, 3, 1.0)], vec![a(3, 2, 1.0)]),
+        // m21 = a21 b13
+        (vec![a(2, 1, 1.0)], vec![a(1, 3, 1.0)]),
+        // m22 = a31 b12
+        (vec![a(3, 1, 1.0)], vec![a(1, 2, 1.0)]),
+        // m23 = a33 b33
+        (vec![a(3, 3, 1.0)], vec![a(3, 3, 1.0)]),
+    ];
+
+    // C outputs in row-major order: c11 c12 c13 c21 c22 c23 c31 c32 c33
+    let outputs: Vec<Vec<(usize, f64)>> = vec![
+        vec![(6, 1.0), (14, 1.0), (19, 1.0)],                                                  // c11
+        vec![(1, 1.0), (4, 1.0), (5, 1.0), (6, 1.0), (12, 1.0), (14, 1.0), (15, 1.0)],         // c12
+        vec![(6, 1.0), (7, 1.0), (9, 1.0), (10, 1.0), (12, 1.0), (14, 1.0), (16, 1.0), (18, 1.0)], // c13
+        vec![(2, 1.0), (3, 1.0), (4, 1.0), (6, 1.0), (14, 1.0), (16, 1.0), (17, 1.0)],         // c21
+        vec![(2, 1.0), (4, 1.0), (5, 1.0), (6, 1.0), (14, 1.0), (16, 1.0), (17, 1.0), (18, 1.0)], // c22
+        vec![(14, 1.0), (16, 1.0), (17, 1.0), (18, 1.0), (21, 1.0)],                           // c23
+        vec![(6, 1.0), (7, 1.0), (8, 1.0), (11, 1.0), (12, 1.0), (13, 1.0), (14, 1.0)],        // c31
+        vec![(12, 1.0), (13, 1.0), (14, 1.0), (15, 1.0), (22, 1.0)],                           // c32
+        vec![(6, 1.0), (7, 1.0), (8, 1.0), (9, 1.0), (14, 1.0), (23, 1.0)],                    // c33
+    ];
+
+    let cand = build(&products, &outputs, 3, 3, 3);
+    let res = cand.residual();
+    println!("candidate residual: {res:.6e}");
+    {
+        let exact = fmm_tensor::matmul_tensor(3, 3, 3);
+        let recon = cand.reconstruct();
+        for i in 0..9 {
+            for j in 0..9 {
+                for k in 0..9 {
+                    let d = recon.get(i, j, k) - exact.get(i, j, k);
+                    if d.abs() > 1e-9 {
+                        // decode: i = A(r,c) index, j = B, k = C
+                        println!(
+                            "violation A({},{}) B({},{}) C({},{}): got {} want {}",
+                            i / 3 + 1, i % 3 + 1, j / 3 + 1, j % 3 + 1, k / 3 + 1, k % 3 + 1,
+                            recon.get(i, j, k), exact.get(i, j, k)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if res < 1e-12 {
+        println!("candidate is exact!");
+        return;
+    }
+    // Stage 1: trust U, alternately exact-solve V and W from the candidate.
+    {
+        let t = fmm_tensor::matmul_tensor(3, 3, 3);
+        let x2t = t.unfold2().transpose();
+        let x3t = t.unfold3().transpose();
+        let u = cand.u.clone();
+        let mut v = cand.v.clone();
+        let mut w = cand.w.clone();
+        for _ in 0..200 {
+            if let Some(vt) = fmm_tensor::linalg::ridge_solve(
+                &fmm_tensor::linalg::khatri_rao(&u, &w), &x2t, 1e-12) {
+                v = vt.transpose();
+            }
+            if let Some(wt) = fmm_tensor::linalg::ridge_solve(
+                &fmm_tensor::linalg::khatri_rao(&u, &v), &x3t, 1e-12) {
+                w = wt.transpose();
+            }
+        }
+        let d2 = fmm_tensor::Decomposition::new(3, 3, 3, u, v, w);
+        println!("freeze-U residual: {:.3e}", d2.residual());
+        if d2.residual() < 1e-8 {
+            let mut d3 = d2.clone();
+            d3.round_entries(1e-6);
+            println!("rounded residual: {:.3e}", d3.residual());
+            if d3.residual() < 1e-10 {
+                print_matrix("u", &d3.u);
+                print_matrix("v", &d3.v);
+                print_matrix("w", &d3.w);
+                return;
+            }
+        }
+    }
+    // Stage 2: single-entry discrete repair on U (or V): perturb one
+    // entry by ±1, freeze that factor, exact-ALS the other two, and see
+    // whether the residual collapses.
+    {
+        let t = fmm_tensor::matmul_tensor(3, 3, 3);
+        let x1t = t.unfold1().transpose();
+        let x2t = t.unfold2().transpose();
+        let x3t = t.unfold3().transpose();
+        let complete_from_u = |u: &fmm_matrix::Matrix, v0: &fmm_matrix::Matrix, w0: &fmm_matrix::Matrix, sweeps: usize| {
+            let mut v = v0.clone();
+            let mut w = w0.clone();
+            for _ in 0..sweeps {
+                if let Some(vt) = fmm_tensor::linalg::ridge_solve(
+                    &fmm_tensor::linalg::khatri_rao(u, &w), &x2t, 1e-12) { v = vt.transpose(); }
+                if let Some(wt) = fmm_tensor::linalg::ridge_solve(
+                    &fmm_tensor::linalg::khatri_rao(u, &v), &x3t, 1e-12) { w = wt.transpose(); }
+            }
+            (fmm_search::frob_residual(&t, u, &v, &w), v, w)
+        };
+        let complete_from_v = |v: &fmm_matrix::Matrix, u0: &fmm_matrix::Matrix, w0: &fmm_matrix::Matrix, sweeps: usize| {
+            let mut u = u0.clone();
+            let mut w = w0.clone();
+            for _ in 0..sweeps {
+                if let Some(ut) = fmm_tensor::linalg::ridge_solve(
+                    &fmm_tensor::linalg::khatri_rao(v, &w), &x1t, 1e-12) { u = ut.transpose(); }
+                if let Some(wt) = fmm_tensor::linalg::ridge_solve(
+                    &fmm_tensor::linalg::khatri_rao(&u, v), &x3t, 1e-12) { w = wt.transpose(); }
+            }
+            (fmm_search::frob_residual(&t, &u, v, &w), u, w)
+        };
+        let mut best: Option<(f64, fmm_tensor::Decomposition, String)> = None;
+        for row in 0..9 {
+            for col in 0..23 {
+                for delta in [-1.0f64, 1.0, -2.0, 2.0] {
+                    let mut u = cand.u.clone();
+                    u[(row, col)] += delta;
+                    let (res, v, w) = complete_from_u(&u, &cand.v, &cand.w, 40);
+                    if res < 1e-6 {
+                        let d = fmm_tensor::Decomposition::new(3,3,3,u,v,w);
+                        let tag = format!("U[{row},{col}] += {delta}");
+                        if best.as_ref().map_or(true, |(b,_,_)| res < *b) { best = Some((res, d, tag)); }
+                    }
+                    let mut v2 = cand.v.clone();
+                    v2[(row, col)] += delta;
+                    let (res2, u2, w2) = complete_from_v(&v2, &cand.u, &cand.w, 40);
+                    if res2 < 1e-6 {
+                        let d = fmm_tensor::Decomposition::new(3,3,3,u2,v2,w2);
+                        let tag = format!("V[{row},{col}] += {delta}");
+                        if best.as_ref().map_or(true, |(b,_,_)| res2 < *b) { best = Some((res2, d, tag)); }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((res, mut d, tag)) => {
+                println!("single-entry repair: {tag} → residual {res:.3e}");
+                d.round_entries(1e-6);
+                println!("rounded residual: {:.3e}", d.residual());
+                if d.residual() < 1e-10 {
+                    print_matrix("u", &d.u);
+                    print_matrix("v", &d.v);
+                    print_matrix("w", &d.w);
+                    return;
+                }
+            }
+            None => println!("no single-entry repair found"),
+        }
+    }
+    println!("repairing…");
+    let opts = AlsOptions {
+        max_sweeps: 6000,
+        reg_start: 2e-3,
+        snap_every: 200,
+        ..Default::default()
+    };
+    match repair(&cand, &opts) {
+        Some(fixed) => {
+            println!(
+                "repaired: residual {:.3e}, discrete {}",
+                fixed.residual, fixed.discrete
+            );
+            let d = fixed.decomposition;
+            print_matrix("u", &d.u);
+            print_matrix("v", &d.v);
+            print_matrix("w", &d.w);
+        }
+        None => println!("repair FAILED"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Numerical search for fast matrix multiplication algorithms.
+//!
+//! Implements the method of §2.3.2 of the paper: given a base case
+//! `⟨M,K,N⟩` and a target rank `R`, find factor matrices `⟦U,V,W⟧` that
+//! satisfy the Brent equations by **alternating least squares** (ALS) —
+//! fix two factors and solve a linear least-squares problem for the
+//! third — with the refinements the paper inherits from Johnson &
+//! McLoughlin and Smirnov:
+//!
+//! * multiple random starting points (local-minimum escape),
+//! * Tikhonov regularization of the inner solves (ill-conditioning),
+//! * sparsification/rounding toward discrete values to recover exact
+//!   algorithms from numerical approximations, and
+//! * a *repair* mode that starts ALS from a hand-entered candidate and
+//!   snaps it back onto an exact nearby solution.
+//!
+//! The same machinery doubles as a **border-rank fitter** for APA
+//! algorithms (§2.2.3): run at a rank below the exact rank, the best
+//! achievable residual decays as factor norms grow, which is exactly
+//! the behaviour of an approximate (Bini-style) algorithm at a fixed
+//! `λ`.
+
+mod als;
+mod polish;
+
+pub use als::{als_fit, als_from_random, frob_residual, random_init, AlsOptions, AlsReport};
+pub use polish::{polish_to_exact, repair, search};
+
+use fmm_tensor::Decomposition;
+
+/// Outcome of a search: the decomposition plus provenance diagnostics.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The discovered (or repaired) decomposition.
+    pub decomposition: Decomposition,
+    /// Final max-norm Brent residual.
+    pub residual: f64,
+    /// Number of ALS restarts consumed.
+    pub restarts_used: usize,
+    /// Whether the factor entries were successfully rounded to small
+    /// dyadic rationals (an "exact" discrete algorithm).
+    pub discrete: bool,
+}

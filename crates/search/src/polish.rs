@@ -1,0 +1,212 @@
+//! Discretization, polishing, repair, and the restart-driven search.
+
+use crate::als::{als_fit, als_from_random, frob_residual, AlsOptions};
+use crate::SearchResult;
+use fmm_matrix::Matrix;
+use fmm_tensor::linalg::{khatri_rao, ridge_solve};
+use fmm_tensor::{matmul_tensor, Decomposition};
+
+/// Snap every entry of `mat` to the nearest small dyadic rational when
+/// it is within `tol`; entries smaller than `zero_tol` become zero.
+fn snap(mat: &mut Matrix, tol: f64, zero_tol: f64) {
+    for x in mat.as_mut_slice() {
+        if x.abs() < zero_tol {
+            *x = 0.0;
+            continue;
+        }
+        for q in [1.0f64, 2.0, 4.0] {
+            let scaled = *x * q;
+            if (scaled - scaled.round()).abs() < tol * q {
+                *x = scaled.round() / q;
+                break;
+            }
+        }
+    }
+}
+
+/// Attempt to turn a numerically-converged candidate into an exact
+/// discrete algorithm: snap entries toward dyadic rationals, then
+/// re-solve each factor exactly (zero regularization) against the
+/// other two and snap again, iterating a few rounds.
+///
+/// Returns the polished decomposition when the final Brent residual is
+/// below `1e-10`, `None` otherwise.
+pub fn polish_to_exact(cand: &Decomposition, rounds: usize) -> Option<Decomposition> {
+    let t = matmul_tensor(cand.m, cand.k, cand.n);
+    let x1t = t.unfold1().transpose();
+    let x2t = t.unfold2().transpose();
+    let x3t = t.unfold3().transpose();
+    let mut u = cand.u.clone();
+    let mut v = cand.v.clone();
+    let mut w = cand.w.clone();
+
+    let mut snap_tol = 0.35;
+    for _ in 0..rounds {
+        snap(&mut u, snap_tol, 0.12);
+        if let Some(vt) = ridge_solve(&khatri_rao(&u, &w), &x2t, 1e-12) {
+            v = vt.transpose();
+        }
+        snap(&mut v, snap_tol, 0.12);
+        if let Some(wt) = ridge_solve(&khatri_rao(&u, &v), &x3t, 1e-12) {
+            w = wt.transpose();
+        }
+        snap(&mut w, snap_tol, 0.12);
+        if let Some(ut) = ridge_solve(&khatri_rao(&v, &w), &x1t, 1e-12) {
+            u = ut.transpose();
+        }
+        snap_tol *= 0.75;
+        if frob_residual(&t, &u, &v, &w) < 1e-10 {
+            // Final exact snap of U too.
+            snap(&mut u, 1e-6, 1e-8);
+            let dec = Decomposition::new(cand.m, cand.k, cand.n, u, v, w);
+            if dec.verify(1e-9).is_ok() {
+                return Some(dec);
+            } else {
+                return None;
+            }
+        }
+    }
+    let dec = Decomposition::new(cand.m, cand.k, cand.n, u, v, w);
+    if dec.verify(1e-9).is_ok() {
+        Some(dec)
+    } else {
+        None
+    }
+}
+
+/// Repair a hand-entered candidate whose coefficients are close to (but
+/// not exactly) a valid algorithm: run ALS initialized at the candidate
+/// with mild regularization, then polish to a discrete solution.
+///
+/// This is the safety net for transcribed literature algorithms — a few
+/// sign or placement errors leave the candidate in the basin of the
+/// true solution, which ALS then recovers.
+pub fn repair(cand: &Decomposition, opts: &AlsOptions) -> Option<SearchResult> {
+    let t = matmul_tensor(cand.m, cand.k, cand.n);
+    let mut u = cand.u.clone();
+    let mut v = cand.v.clone();
+    let mut w = cand.w.clone();
+    let report = als_fit(&t, &mut u, &mut v, &mut w, opts);
+    let fitted = Decomposition::new(cand.m, cand.k, cand.n, u, v, w);
+    // Prefer a polished discrete solution; fall back to the raw fit.
+    if let Some(polished) = polish_to_exact(&fitted, 10) {
+        let residual = polished.residual();
+        return Some(SearchResult {
+            discrete: polished.is_discrete(1e-9),
+            decomposition: polished,
+            residual,
+            restarts_used: 0,
+        });
+    }
+    if report.converged {
+        let residual = fitted.residual();
+        return Some(SearchResult {
+            discrete: fitted.is_discrete(1e-9),
+            decomposition: fitted,
+            residual,
+            restarts_used: 0,
+        });
+    }
+    None
+}
+
+/// Multi-restart search for an exact rank-`rank` algorithm for
+/// `⟨m,k,n⟩` (paper §2.3.2). Runs up to `restarts` seeded ALS fits and
+/// returns the first that converges and polishes to a verified
+/// algorithm; when none polishes discretely, the best converged
+/// floating-point solution is returned instead.
+pub fn search(
+    m: usize,
+    k: usize,
+    n: usize,
+    rank: usize,
+    restarts: usize,
+    base_seed: u64,
+    opts: &AlsOptions,
+) -> Option<SearchResult> {
+    let mut best_float: Option<(Decomposition, f64, usize)> = None;
+    let mut first_converged: Option<usize> = None;
+    for attempt in 0..restarts {
+        // Once a converged floating-point solution exists, spend at most
+        // 100 further restarts hunting for a discrete one.
+        if let Some(first) = first_converged {
+            if attempt > first + 100 {
+                break;
+            }
+        }
+        let seed = base_seed.wrapping_add(attempt as u64);
+        let (cand, report) = als_from_random(m, k, n, rank, seed, opts);
+        if attempt % 50 == 49 {
+            eprintln!(
+                "  ...restart {} (best {:.2e})",
+                attempt + 1,
+                best_float.as_ref().map_or(f64::INFINITY, |(_, r, _)| *r)
+            );
+        }
+        if !report.converged {
+            continue;
+        }
+        first_converged.get_or_insert(attempt);
+        if let Some(polished) = polish_to_exact(&cand, 10) {
+            let residual = polished.residual();
+            return Some(SearchResult {
+                discrete: polished.is_discrete(1e-9),
+                decomposition: polished,
+                residual,
+                restarts_used: attempt + 1,
+            });
+        }
+        let res = cand.residual();
+        if best_float.as_ref().is_none_or(|(_, r, _)| res < *r) {
+            best_float = Some((cand, res, attempt + 1));
+        }
+    }
+    best_float.map(|(dec, residual, restarts_used)| SearchResult {
+        discrete: dec.is_discrete(1e-9),
+        decomposition: dec,
+        residual,
+        restarts_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_tensor::compose::classical;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn repair_recovers_perturbed_classical() {
+        // Corrupt a few entries of the classical ⟨2,2,2⟩ algorithm and
+        // check the repair pipeline restores an exact algorithm.
+        let mut cand = classical(2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            let i = rng.gen_range(0..cand.u.rows());
+            let c = rng.gen_range(0..cand.u.cols());
+            cand.u[(i, c)] += 0.2;
+        }
+        assert!(cand.verify(1e-10).is_err());
+        let fixed = repair(&cand, &AlsOptions::default()).expect("repairable");
+        assert!(fixed.residual < 1e-9);
+        fixed.decomposition.verify(1e-9).unwrap();
+    }
+
+    #[test]
+    fn polish_rejects_garbage() {
+        let mut cand = classical(2, 2, 2);
+        // Destroy the structure completely.
+        for x in cand.u.as_mut_slice() {
+            *x = 0.37;
+        }
+        assert!(polish_to_exact(&cand, 3).is_none());
+    }
+
+    #[test]
+    fn search_finds_rank8_222_trivially() {
+        let opts = AlsOptions::default();
+        let res = search(2, 2, 2, 8, 12, 100, &opts).expect("rank 8 must fit");
+        assert!(res.residual < 1e-8, "residual {}", res.residual);
+    }
+}

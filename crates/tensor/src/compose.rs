@@ -1,0 +1,363 @@
+//! Constructions that build larger fast algorithms from smaller ones.
+//!
+//! * [`classical`] — the rank-`mkn` decomposition every base case
+//!   trivially admits (this is also what the comparison baselines use);
+//! * [`kron_compose`] — the tensor-product (a.k.a. recursive
+//!   composition) `⟨a,b,c⟩ ⊗ ⟨d,e,f⟩ = ⟨ad,be,cf⟩` with rank `R₁·R₂`,
+//!   used e.g. to derive `⟨2,2,4⟩` (rank 14) from Strassen ⊗ ⟨1,1,2⟩
+//!   and the paper's ⟨54,54,54⟩ discussion (§5.2);
+//! * [`direct_sum_m`]/[`direct_sum_k`]/[`direct_sum_n`] — dimension
+//!   splitting `⟨m,k,n₁+n₂⟩ = ⟨m,k,n₁⟩ ⊕ ⟨m,k,n₂⟩` etc. with rank
+//!   `R₁+R₂`, used to derive `⟨2,2,3⟩` (rank 11 = 7+4) and `⟨2,2,5⟩`
+//!   (rank 18 = 14+4), matching the Hopcroft–Kerr ranks of Table 2.
+
+use crate::decomp::Decomposition;
+use fmm_matrix::Matrix;
+
+/// The classical algorithm for `⟨m,k,n⟩` as a rank-`mkn` decomposition:
+/// multiplication `r = (i,p,j)` computes `A_ip · B_pj` into `C_ij`.
+pub fn classical(m: usize, k: usize, n: usize) -> Decomposition {
+    assert!(m > 0 && k > 0 && n > 0, "dimensions must be positive");
+    let r = m * k * n;
+    let mut u = Matrix::zeros(m * k, r);
+    let mut v = Matrix::zeros(k * n, r);
+    let mut w = Matrix::zeros(m * n, r);
+    let mut col = 0;
+    for i in 0..m {
+        for p in 0..k {
+            for j in 0..n {
+                u[(i * k + p, col)] = 1.0;
+                v[(p * n + j, col)] = 1.0;
+                w[(i * n + j, col)] = 1.0;
+                col += 1;
+            }
+        }
+    }
+    Decomposition::new(m, k, n, u, v, w)
+}
+
+/// Tensor-product composition: an algorithm for
+/// `⟨m₁m₂, k₁k₂, n₁n₂⟩` with rank `R₁·R₂`.
+///
+/// Operands are viewed as `m₁×k₁` grids of `m₂×k₂` blocks; the index
+/// maps below interleave the two levels so the result is a flat
+/// decomposition of the composed base case.
+pub fn kron_compose(a: &Decomposition, b: &Decomposition) -> Decomposition {
+    let (m1, k1, n1) = a.base();
+    let (m2, k2, n2) = b.base();
+    let (m, k, n) = (m1 * m2, k1 * k2, n1 * n2);
+    let (r1, r2) = (a.rank(), b.rank());
+    let r = r1 * r2;
+
+    let mut u = Matrix::zeros(m * k, r);
+    let mut v = Matrix::zeros(k * n, r);
+    let mut w = Matrix::zeros(m * n, r);
+
+    for c1 in 0..r1 {
+        for c2 in 0..r2 {
+            let col = c1 * r2 + c2;
+            // U: A entry ((i1,i2),(p1,p2)) ↦ row (i1·m2+i2)·k + (p1·k2+p2)
+            for i1 in 0..m1 {
+                for p1 in 0..k1 {
+                    let u1 = a.u[(i1 * k1 + p1, c1)];
+                    if u1 == 0.0 {
+                        continue;
+                    }
+                    for i2 in 0..m2 {
+                        for p2 in 0..k2 {
+                            let u2 = b.u[(i2 * k2 + p2, c2)];
+                            if u2 == 0.0 {
+                                continue;
+                            }
+                            let row = (i1 * m2 + i2) * k + (p1 * k2 + p2);
+                            u[(row, col)] = u1 * u2;
+                        }
+                    }
+                }
+            }
+            // V: B entry ((p1,p2),(j1,j2)) ↦ row (p1·k2+p2)·n + (j1·n2+j2)
+            for p1 in 0..k1 {
+                for j1 in 0..n1 {
+                    let v1 = a.v[(p1 * n1 + j1, c1)];
+                    if v1 == 0.0 {
+                        continue;
+                    }
+                    for p2 in 0..k2 {
+                        for j2 in 0..n2 {
+                            let v2 = b.v[(p2 * n2 + j2, c2)];
+                            if v2 == 0.0 {
+                                continue;
+                            }
+                            let row = (p1 * k2 + p2) * n + (j1 * n2 + j2);
+                            v[(row, col)] = v1 * v2;
+                        }
+                    }
+                }
+            }
+            // W: C entry ((i1,i2),(j1,j2)) ↦ row (i1·m2+i2)·n + (j1·n2+j2)
+            for i1 in 0..m1 {
+                for j1 in 0..n1 {
+                    let w1 = a.w[(i1 * n1 + j1, c1)];
+                    if w1 == 0.0 {
+                        continue;
+                    }
+                    for i2 in 0..m2 {
+                        for j2 in 0..n2 {
+                            let w2 = b.w[(i2 * n2 + j2, c2)];
+                            if w2 == 0.0 {
+                                continue;
+                            }
+                            let row = (i1 * m2 + i2) * n + (j1 * n2 + j2);
+                            w[(row, col)] = w1 * w2;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Decomposition::new(m, k, n, u, v, w)
+}
+
+/// Direct sum along `n`: `⟨m,k,n₁⟩ ⊕ ⟨m,k,n₂⟩ = ⟨m,k,n₁+n₂⟩`,
+/// multiplying `A` against the column blocks `[B₁ B₂]` independently.
+pub fn direct_sum_n(a: &Decomposition, b: &Decomposition) -> Decomposition {
+    let (m, k, n1) = a.base();
+    let (m2, k2, n2) = b.base();
+    assert_eq!((m, k), (m2, k2), "direct_sum_n requires matching m, k");
+    let n = n1 + n2;
+    let (r1, r2) = (a.rank(), b.rank());
+    let mut u = Matrix::zeros(m * k, r1 + r2);
+    let mut v = Matrix::zeros(k * n, r1 + r2);
+    let mut w = Matrix::zeros(m * n, r1 + r2);
+    // U is shared: both halves read the same A.
+    for row in 0..m * k {
+        for c in 0..r1 {
+            u[(row, c)] = a.u[(row, c)];
+        }
+        for c in 0..r2 {
+            u[(row, r1 + c)] = b.u[(row, c)];
+        }
+    }
+    for p in 0..k {
+        for j in 0..n1 {
+            for c in 0..r1 {
+                v[(p * n + j, c)] = a.v[(p * n1 + j, c)];
+            }
+        }
+        for j in 0..n2 {
+            for c in 0..r2 {
+                v[(p * n + n1 + j, r1 + c)] = b.v[(p * n2 + j, c)];
+            }
+        }
+    }
+    for i in 0..m {
+        for j in 0..n1 {
+            for c in 0..r1 {
+                w[(i * n + j, c)] = a.w[(i * n1 + j, c)];
+            }
+        }
+        for j in 0..n2 {
+            for c in 0..r2 {
+                w[(i * n + n1 + j, r1 + c)] = b.w[(i * n2 + j, c)];
+            }
+        }
+    }
+    Decomposition::new(m, k, n, u, v, w)
+}
+
+/// Direct sum along `m`: `⟨m₁,k,n⟩ ⊕ ⟨m₂,k,n⟩ = ⟨m₁+m₂,k,n⟩`,
+/// multiplying the row blocks `[A₁; A₂]` against a shared `B`.
+pub fn direct_sum_m(a: &Decomposition, b: &Decomposition) -> Decomposition {
+    let (m1, k, n) = a.base();
+    let (m2, k2, n2) = b.base();
+    assert_eq!((k, n), (k2, n2), "direct_sum_m requires matching k, n");
+    let m = m1 + m2;
+    let (r1, r2) = (a.rank(), b.rank());
+    let mut u = Matrix::zeros(m * k, r1 + r2);
+    let mut v = Matrix::zeros(k * n, r1 + r2);
+    let mut w = Matrix::zeros(m * n, r1 + r2);
+    for p in 0..k * n {
+        for c in 0..r1 {
+            v[(p, c)] = a.v[(p, c)];
+        }
+        for c in 0..r2 {
+            v[(p, r1 + c)] = b.v[(p, c)];
+        }
+    }
+    for i in 0..m1 {
+        for p in 0..k {
+            for c in 0..r1 {
+                u[(i * k + p, c)] = a.u[(i * k + p, c)];
+            }
+        }
+        for j in 0..n {
+            for c in 0..r1 {
+                w[(i * n + j, c)] = a.w[(i * n + j, c)];
+            }
+        }
+    }
+    for i in 0..m2 {
+        for p in 0..k {
+            for c in 0..r2 {
+                u[((m1 + i) * k + p, r1 + c)] = b.u[(i * k + p, c)];
+            }
+        }
+        for j in 0..n {
+            for c in 0..r2 {
+                w[((m1 + i) * n + j, r1 + c)] = b.w[(i * n + j, c)];
+            }
+        }
+    }
+    Decomposition::new(m, k, n, u, v, w)
+}
+
+/// Direct sum along `k`: `⟨m,k₁,n⟩ ⊕ ⟨m,k₂,n⟩ = ⟨m,k₁+k₂,n⟩`,
+/// computing `C = A₁B₁ + A₂B₂` with a shared output.
+pub fn direct_sum_k(a: &Decomposition, b: &Decomposition) -> Decomposition {
+    let (m, k1, n) = a.base();
+    let (m2, k2, n2) = b.base();
+    assert_eq!((m, n), (m2, n2), "direct_sum_k requires matching m, n");
+    let k = k1 + k2;
+    let (r1, r2) = (a.rank(), b.rank());
+    let mut u = Matrix::zeros(m * k, r1 + r2);
+    let mut v = Matrix::zeros(k * n, r1 + r2);
+    let mut w = Matrix::zeros(m * n, r1 + r2);
+    for row in 0..m * n {
+        for c in 0..r1 {
+            w[(row, c)] = a.w[(row, c)];
+        }
+        for c in 0..r2 {
+            w[(row, r1 + c)] = b.w[(row, c)];
+        }
+    }
+    for i in 0..m {
+        for p in 0..k1 {
+            for c in 0..r1 {
+                u[(i * k + p, c)] = a.u[(i * k1 + p, c)];
+            }
+        }
+        for p in 0..k2 {
+            for c in 0..r2 {
+                u[(i * k + k1 + p, r1 + c)] = b.u[(i * k2 + p, c)];
+            }
+        }
+    }
+    for p in 0..k1 {
+        for j in 0..n {
+            for c in 0..r1 {
+                v[(p * n + j, c)] = a.v[(p * n + j, c)];
+            }
+        }
+    }
+    for p in 0..k2 {
+        for j in 0..n {
+            for c in 0..r2 {
+                v[((k1 + p) * n + j, r1 + c)] = b.v[(p * n + j, c)];
+            }
+        }
+    }
+    Decomposition::new(m, k, n, u, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::fixtures::strassen;
+
+    #[test]
+    fn classical_is_exact_for_many_bases() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 2, 2), (3, 2, 4), (1, 5, 2), (4, 4, 4)] {
+            let c = classical(m, k, n);
+            assert_eq!(c.rank(), m * k * n);
+            c.verify(0.0).unwrap();
+            // classical algorithm needs no additions on the input side
+            // and (k-1) per output entry.
+            assert_eq!(c.addition_count(1e-12), m * n * (k - 1));
+        }
+    }
+
+    #[test]
+    fn strassen_squared_is_444_rank_49() {
+        let s = strassen();
+        let s2 = kron_compose(&s, &s);
+        assert_eq!(s2.base(), (4, 4, 4));
+        assert_eq!(s2.rank(), 49);
+        s2.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn strassen_times_112_is_224_rank_14() {
+        let s = strassen();
+        let c112 = classical(1, 1, 2);
+        let d = kron_compose(&s, &c112);
+        assert_eq!(d.base(), (2, 2, 4));
+        assert_eq!(d.rank(), 14);
+        d.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn compose_with_identity_base_preserves() {
+        let s = strassen();
+        let c111 = classical(1, 1, 1);
+        let d = kron_compose(&s, &c111);
+        assert_eq!(d.base(), (2, 2, 2));
+        assert_eq!(d.rank(), 7);
+        d.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn direct_sum_n_builds_223_rank_11() {
+        let s = strassen();
+        let c221 = classical(2, 2, 1);
+        let d = direct_sum_n(&s, &c221);
+        assert_eq!(d.base(), (2, 2, 3));
+        assert_eq!(d.rank(), 11); // Hopcroft–Kerr optimal rank
+        d.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn direct_sum_m_builds_322() {
+        let s = strassen();
+        let c122 = classical(1, 2, 2);
+        let d = direct_sum_m(&s, &c122);
+        assert_eq!(d.base(), (3, 2, 2));
+        assert_eq!(d.rank(), 11);
+        d.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn direct_sum_k_builds_232() {
+        let s = strassen();
+        let c212 = classical(2, 1, 2);
+        let d = direct_sum_k(&s, &c212);
+        assert_eq!(d.base(), (2, 3, 2));
+        assert_eq!(d.rank(), 11);
+        d.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn chained_sums_build_225_rank_18() {
+        let s = strassen();
+        let c112 = classical(1, 1, 2);
+        let a224 = kron_compose(&s, &c112);
+        let c221 = classical(2, 2, 1);
+        let a225 = direct_sum_n(&a224, &c221);
+        assert_eq!(a225.base(), (2, 2, 5));
+        assert_eq!(a225.rank(), 18); // Hopcroft–Kerr rank from Table 2
+        a225.verify(1e-12).unwrap();
+    }
+
+    #[test]
+    fn composition_is_associative_in_rank_and_dims() {
+        let s = strassen();
+        let a = kron_compose(&kron_compose(&s, &s), &s);
+        let b = kron_compose(&s, &kron_compose(&s, &s));
+        assert_eq!(a.base(), (8, 8, 8));
+        assert_eq!(b.base(), (8, 8, 8));
+        assert_eq!(a.rank(), 343);
+        assert_eq!(b.rank(), 343);
+        a.verify(1e-12).unwrap();
+        b.verify(1e-12).unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! `⟦U, V, W⟧` decompositions of matrix-multiplication tensors.
+
+use crate::tensor3::{matmul_tensor, Tensor3};
+use fmm_matrix::Matrix;
+
+/// A (candidate) fast algorithm for the base case `⟨m, k, n⟩`: a rank-`R`
+/// decomposition of `T_{⟨m,k,n⟩}` into factor matrices
+/// `U ∈ R^{mk×R}`, `V ∈ R^{kn×R}`, `W ∈ R^{mn×R}`.
+///
+/// Column `r` encodes one "active multiplication":
+/// `S_r = Σ u_{(i,p),r}·A_{ip}`, `T_r = Σ v_{(p,j),r}·B_{pj}`,
+/// `M_r = S_r·T_r`, and `C_{ij} = Σ_r w_{(i,j),r}·M_r`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decomposition {
+    /// Base-case rows of A.
+    pub m: usize,
+    /// Base-case inner dimension.
+    pub k: usize,
+    /// Base-case columns of B.
+    pub n: usize,
+    /// `mk × R` factor for A-side linear combinations.
+    pub u: Matrix,
+    /// `kn × R` factor for B-side linear combinations.
+    pub v: Matrix,
+    /// `mn × R` factor for the output combinations.
+    pub w: Matrix,
+}
+
+impl Decomposition {
+    /// Assemble and shape-check a decomposition.
+    ///
+    /// # Panics
+    /// Panics when the factor shapes are inconsistent with `⟨m,k,n⟩`.
+    pub fn new(m: usize, k: usize, n: usize, u: Matrix, v: Matrix, w: Matrix) -> Self {
+        assert_eq!(u.rows(), m * k, "U must have m·k = {} rows", m * k);
+        assert_eq!(v.rows(), k * n, "V must have k·n = {} rows", k * n);
+        assert_eq!(w.rows(), m * n, "W must have m·n = {} rows", m * n);
+        let r = u.cols();
+        assert_eq!(v.cols(), r, "V must have the same column count as U");
+        assert_eq!(w.cols(), r, "W must have the same column count as U");
+        Decomposition { m, k, n, u, v, w }
+    }
+
+    /// The rank `R` — the number of active multiplications per
+    /// recursive step.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Base case as a tuple.
+    #[inline]
+    pub fn base(&self) -> (usize, usize, usize) {
+        (self.m, self.k, self.n)
+    }
+
+    /// Number of multiplies the classical algorithm uses for this base
+    /// case (`m·k·n`).
+    #[inline]
+    pub fn classical_rank(&self) -> usize {
+        self.m * self.k * self.n
+    }
+
+    /// Multiplication speedup per recursive step if additions were free
+    /// (Table 2: `mkn/R − 1`, reported as a percentage).
+    pub fn speedup_per_step(&self) -> f64 {
+        self.classical_rank() as f64 / self.rank() as f64 - 1.0
+    }
+
+    /// Exponent of the arithmetic cost for *square* multiplication
+    /// obtained by composing this base case with its permutations:
+    /// `ω₀ = 3·log_{mkn}(R)` (§5.2 uses this for ⟨3,3,6⟩ ⇒ 2.775).
+    pub fn square_exponent(&self) -> f64 {
+        3.0 * (self.rank() as f64).ln() / ((self.m * self.k * self.n) as f64).ln()
+    }
+
+    /// Total non-zeros in the three factors, `nnz(U,V,W)` of §3.2.
+    pub fn nnz(&self, tol: f64) -> usize {
+        self.u.nnz(tol) + self.v.nnz(tol) + self.w.nnz(tol)
+    }
+
+    /// Reconstruct `Σ_r u_r ∘ v_r ∘ w_r` as a dense tensor.
+    pub fn reconstruct(&self) -> Tensor3 {
+        let mut t = Tensor3::zeros(self.u.rows(), self.v.rows(), self.w.rows());
+        for r in 0..self.rank() {
+            let ur = self.u.col(r);
+            let vr = self.v.col(r);
+            let wr = self.w.col(r);
+            t.add_outer(1.0, &ur, &vr, &wr);
+        }
+        t
+    }
+
+    /// Max-norm residual against the exact matmul tensor — i.e. the
+    /// worst violation of the Brent equations
+    /// `Σ_r u_{ir} v_{jr} w_{kr} = t_{ijk}`.
+    pub fn residual(&self) -> f64 {
+        let exact = matmul_tensor(self.m, self.k, self.n);
+        self.reconstruct().max_abs_diff(&exact)
+    }
+
+    /// Verify the decomposition is an exact algorithm within `tol`.
+    pub fn verify(&self, tol: f64) -> Result<(), String> {
+        let r = self.residual();
+        if r <= tol {
+            Ok(())
+        } else {
+            Err(format!(
+                "⟨{},{},{}⟩ rank-{} candidate violates Brent equations: residual {r:.3e} > {tol:.1e}",
+                self.m, self.k, self.n, self.rank()
+            ))
+        }
+    }
+
+    /// Number of *additions* needed to form all `S_r` and `T_r` and to
+    /// combine the `M_r` into `C`, without common subexpression
+    /// elimination: each column with `z` non-zeros costs `z − 1`
+    /// additions, and each output block row similarly.
+    pub fn addition_count(&self, tol: f64) -> usize {
+        let col_adds = |mat: &Matrix| -> usize {
+            (0..mat.cols())
+                .map(|c| {
+                    let z = (0..mat.rows()).filter(|&i| mat[(i, c)].abs() > tol).count();
+                    z.saturating_sub(1)
+                })
+                .sum()
+        };
+        // U and V columns build S_r/T_r; W *rows* build the outputs C_ij
+        // (each C_ij is a combination of the M_r with its row of W).
+        let row_adds = |mat: &Matrix| -> usize {
+            (0..mat.rows())
+                .map(|i| {
+                    let z = (0..mat.cols()).filter(|&c| mat[(i, c)].abs() > tol).count();
+                    z.saturating_sub(1)
+                })
+                .sum()
+        };
+        col_adds(&self.u) + col_adds(&self.v) + row_adds(&self.w)
+    }
+
+    /// True when every factor entry is (within `tol`) a small dyadic
+    /// rational `p/2^q` with `|p| ≤ 8`, `q ≤ 3` — the "simple values"
+    /// the paper prefers for performance (§2.3).
+    pub fn is_discrete(&self, tol: f64) -> bool {
+        let ok = |x: f64| {
+            for q in 0..=3 {
+                let scaled = x * f64::powi(2.0, q);
+                if (scaled - scaled.round()).abs() <= tol * f64::powi(2.0, q)
+                    && scaled.round().abs() <= 8.0
+                {
+                    return true;
+                }
+            }
+            false
+        };
+        self.u.as_slice().iter().all(|&x| ok(x))
+            && self.v.as_slice().iter().all(|&x| ok(x))
+            && self.w.as_slice().iter().all(|&x| ok(x))
+    }
+
+    /// Round near-dyadic entries to exact dyadic rationals in place
+    /// (used after a successful numerical search).
+    pub fn round_entries(&mut self, tol: f64) {
+        let round_one = |x: &mut f64| {
+            for q in 0..=3 {
+                let p2 = f64::powi(2.0, q);
+                let scaled = *x * p2;
+                if (scaled - scaled.round()).abs() <= tol * p2 {
+                    *x = scaled.round() / p2;
+                    return;
+                }
+            }
+        };
+        self.u.as_mut_slice().iter_mut().for_each(round_one);
+        self.v.as_mut_slice().iter_mut().for_each(round_one);
+        self.w.as_mut_slice().iter_mut().for_each(round_one);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::fixtures::strassen;
+
+    #[test]
+    fn strassen_satisfies_brent_equations() {
+        let s = strassen();
+        assert_eq!(s.rank(), 7);
+        assert_eq!(s.residual(), 0.0);
+        s.verify(0.0).unwrap();
+    }
+
+    #[test]
+    fn strassen_statistics() {
+        let s = strassen();
+        assert!((s.speedup_per_step() - (8.0 / 7.0 - 1.0)).abs() < 1e-15);
+        // ω = log2(7) ≈ 2.807
+        assert!((s.square_exponent() - 7.0f64.log2() / 2.0f64.log2() * 3.0 / 3.0).abs() < 1e-12);
+        assert!(s.is_discrete(1e-12));
+        // Strassen: 18 additions without CSE (paper §2.1), counting the
+        // W side by output rows: U has 5 two-term columns... total 18.
+        assert_eq!(s.addition_count(1e-12), 18);
+    }
+
+    #[test]
+    fn corrupted_strassen_fails_verification() {
+        let mut s = strassen();
+        s.u[(0, 0)] = 2.0;
+        assert!(s.verify(1e-10).is_err());
+        assert!(s.residual() > 0.5);
+    }
+
+    #[test]
+    fn round_entries_snaps_noise() {
+        let mut s = strassen();
+        s.u[(0, 0)] += 1e-9;
+        s.v[(3, 6)] -= 1e-9;
+        s.round_entries(1e-7);
+        assert_eq!(s.residual(), 0.0);
+    }
+
+    #[test]
+    fn shape_checks_panic() {
+        let u = Matrix::zeros(4, 7);
+        let v = Matrix::zeros(4, 7);
+        let w = Matrix::zeros(3, 7);
+        let result = std::panic::catch_unwind(|| Decomposition::new(2, 2, 2, u, v, w));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn discreteness_detects_halves_and_rejects_junk() {
+        let mut s = strassen();
+        s.u[(0, 0)] = 0.5;
+        assert!(s.is_discrete(1e-12));
+        s.u[(0, 0)] = 0.3333333;
+        assert!(!s.is_discrete(1e-12));
+    }
+}

@@ -1,0 +1,65 @@
+//! Tensor formulation of fast matrix multiplication.
+//!
+//! A fast algorithm for the base case `⟨M, K, N⟩` is a rank-`R`
+//! decomposition `⟦U, V, W⟧` of the matrix-multiplication tensor
+//! `T_{MKN}` (paper §2.2): `U ∈ R^{MK×R}`, `V ∈ R^{KN×R}`,
+//! `W ∈ R^{MN×R}` with `t_ijk = Σ_r u_ir · v_jr · w_kr`.
+//!
+//! This crate provides:
+//!
+//! * [`Tensor3`] and [`matmul_tensor`] — the exact tensor `T_{MKN}`
+//!   (§2.2.2) plus contraction/outer-product operations;
+//! * [`Decomposition`] — the `⟦U,V,W⟧` triple with residual/verification
+//!   against the Brent equations, sparsity statistics and cost model;
+//! * [`transform`] — the permutation transforms of Propositions 2.1/2.2
+//!   and the equivalence transforms of Proposition 2.3;
+//! * [`compose`] — tensor-product composition and direct-sum splitting,
+//!   the constructions used to derive higher base cases from smaller
+//!   verified ones;
+//! * [`linalg`] — the small dense kernels (Kronecker product, inversion,
+//!   Householder-QR least squares) that the transforms and the ALS
+//!   search (`fmm-search`) are built on.
+
+pub mod compose;
+mod decomp;
+pub mod linalg;
+mod tensor3;
+pub mod transform;
+
+pub use decomp::Decomposition;
+pub use tensor3::{matmul_tensor, Tensor3};
+
+/// Test fixtures shared by this crate's unit tests.
+///
+/// Note on conventions: the paper prints Strassen's `W` with rows
+/// ordered by `vec(Cᵀ)` (column-major C); this workspace consistently
+/// uses row-major `vec(C)`, so rows 2 and 3 are swapped relative to the
+/// paper's §2.2.2 display.
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use crate::Decomposition;
+    use fmm_matrix::Matrix;
+
+    /// Strassen's rank-7 algorithm in row-major-vec convention.
+    pub fn strassen() -> Decomposition {
+        let u = Matrix::from_rows(&[
+            &[1., 0., 1., 0., 1., -1., 0.],
+            &[0., 0., 0., 0., 1., 0., 1.],
+            &[0., 1., 0., 0., 0., 1., 0.],
+            &[1., 1., 0., 1., 0., 0., -1.],
+        ]);
+        let v = Matrix::from_rows(&[
+            &[1., 1., 0., -1., 0., 1., 0.],
+            &[0., 0., 1., 0., 0., 1., 0.],
+            &[0., 0., 0., 1., 0., 0., 1.],
+            &[1., 0., -1., 0., 1., 0., 1.],
+        ]);
+        let w = Matrix::from_rows(&[
+            &[1., 0., 0., 1., -1., 0., 1.], // C11 = M1+M4-M5+M7
+            &[0., 0., 1., 0., 1., 0., 0.],  // C12 = M3+M5
+            &[0., 1., 0., 1., 0., 0., 0.],  // C21 = M2+M4
+            &[1., -1., 1., 0., 0., 1., 0.], // C22 = M1-M2+M3+M6
+        ]);
+        Decomposition::new(2, 2, 2, u, v, w)
+    }
+}

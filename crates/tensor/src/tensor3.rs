@@ -1,0 +1,272 @@
+//! Dense order-3 tensors and the matrix-multiplication tensor.
+
+use fmm_matrix::Matrix;
+
+/// A dense, real, order-3 tensor `T ∈ R^{I×J×K}`.
+///
+/// Entry `(i, j, k)` is stored at `data[(i*J + j)*K + k]` (the third
+/// index is contiguous, i.e. the "tube" fibers are contiguous).
+#[derive(Clone, PartialEq)]
+pub struct Tensor3 {
+    dims: [usize; 3],
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Zero tensor of the given dimensions.
+    pub fn zeros(i: usize, j: usize, k: usize) -> Self {
+        Tensor3 {
+            dims: [i, j, k],
+            data: vec![0.0; i * j * k],
+        }
+    }
+
+    /// Dimensions `[I, J, K]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Entry `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[(i * self.dims[1] + j) * self.dims[2] + k]
+    }
+
+    /// Write entry `(i, j, k)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        self.data[(i * self.dims[1] + j) * self.dims[2] + k] = v;
+    }
+
+    /// Backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of entries with magnitude above `tol`.
+    pub fn nnz(&self, tol: f64) -> usize {
+        self.data.iter().filter(|x| x.abs() > tol).count()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// `self += coef · (u ∘ v ∘ w)` (rank-one update, paper Table 1).
+    pub fn add_outer(&mut self, coef: f64, u: &[f64], v: &[f64], w: &[f64]) {
+        assert_eq!(u.len(), self.dims[0]);
+        assert_eq!(v.len(), self.dims[1]);
+        assert_eq!(w.len(), self.dims[2]);
+        for (i, &ui) in u.iter().enumerate() {
+            if ui == 0.0 {
+                continue;
+            }
+            for (j, &vj) in v.iter().enumerate() {
+                let uv = coef * ui * vj;
+                if uv == 0.0 {
+                    continue;
+                }
+                let base = (i * self.dims[1] + j) * self.dims[2];
+                for (k, &wk) in w.iter().enumerate() {
+                    self.data[base + k] += uv * wk;
+                }
+            }
+        }
+    }
+
+    /// Contraction `T ×₁ a ×₂ b = c ∈ R^K`, i.e. `c_k = aᵀ T_k b`
+    /// (paper §1.2). For the matmul tensor with `a = vec(A)`,
+    /// `b = vec(B)` this yields `vec(C)`.
+    pub fn contract12(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(a.len(), self.dims[0]);
+        assert_eq!(b.len(), self.dims[1]);
+        let mut c = vec![0.0; self.dims[2]];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0.0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                let ab = ai * bj;
+                if ab == 0.0 {
+                    continue;
+                }
+                let base = (i * self.dims[1] + j) * self.dims[2];
+                for (k, ck) in c.iter_mut().enumerate() {
+                    *ck += ab * self.data[base + k];
+                }
+            }
+        }
+        c
+    }
+
+    /// Frontal slice `T_k` as a matrix (paper Table 1: `T_k = t_{:,:,k}`).
+    pub fn frontal_slice(&self, k: usize) -> Matrix {
+        Matrix::from_fn(self.dims[0], self.dims[1], |i, j| self.get(i, j, k))
+    }
+
+    /// Mode-1 unfolding: `I × (J·K)` matrix with `(i, j*K+k) = t_ijk`.
+    pub fn unfold1(&self) -> Matrix {
+        Matrix::from_vec(self.dims[0], self.dims[1] * self.dims[2], self.data.clone())
+    }
+
+    /// Mode-2 unfolding: `J × (I·K)` matrix with `(j, i*K+k) = t_ijk`.
+    pub fn unfold2(&self) -> Matrix {
+        Matrix::from_fn(self.dims[1], self.dims[0] * self.dims[2], |j, col| {
+            let (i, k) = (col / self.dims[2], col % self.dims[2]);
+            self.get(i, j, k)
+        })
+    }
+
+    /// Mode-3 unfolding: `K × (I·J)` matrix with `(k, i*J+j) = t_ijk`.
+    pub fn unfold3(&self) -> Matrix {
+        Matrix::from_fn(self.dims[2], self.dims[0] * self.dims[1], |k, col| {
+            let (i, j) = (col / self.dims[1], col % self.dims[1]);
+            self.get(i, j, k)
+        })
+    }
+
+    /// Maximum absolute entry-wise difference with another tensor.
+    pub fn max_abs_diff(&self, other: &Tensor3) -> f64 {
+        assert_eq!(self.dims, other.dims, "tensor shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Debug for Tensor3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tensor3 {}x{}x{} (nnz {})",
+            self.dims[0],
+            self.dims[1],
+            self.dims[2],
+            self.nnz(0.0)
+        )
+    }
+}
+
+/// The matrix-multiplication tensor `T_{⟨M,K,N⟩}` of dimensions
+/// `MK × KN × MN` (paper §2.2.2).
+///
+/// With row-major vectorizations `x = vec(A)`, `y = vec(B)`,
+/// `z = vec(C)`, the tensor satisfies `T ×₁ x ×₂ y = z` for all valid
+/// `A, B`. Entry `t_{ijl} = 1` exactly when the scalar product
+/// `x_i · y_j` contributes to `z_l` in the classical algorithm.
+pub fn matmul_tensor(m: usize, k: usize, n: usize) -> Tensor3 {
+    assert!(m > 0 && k > 0 && n > 0, "dimensions must be positive");
+    let mut t = Tensor3::zeros(m * k, k * n, m * n);
+    for i in 0..m {
+        for p in 0..k {
+            for j in 0..n {
+                // A(i,p) * B(p,j) contributes to C(i,j).
+                t.set(i * k + p, p * n + j, i * n + j, 1.0);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_tensor_has_mkn_nonzeros() {
+        for &(m, k, n) in &[(2, 2, 2), (3, 2, 4), (1, 5, 2)] {
+            let t = matmul_tensor(m, k, n);
+            assert_eq!(t.dims(), [m * k, k * n, m * n]);
+            assert_eq!(t.nnz(0.0), m * k * n);
+        }
+    }
+
+    #[test]
+    fn matmul_tensor_222_frontal_slices_match_paper() {
+        // §2.2.2 writes the four frontal slices of T_{⟨2,2,2⟩} explicitly;
+        // T3 ×₁ vec(A) ×₂ vec(B) = a21·b11 + a22·b21 = c21.
+        let t = matmul_tensor(2, 2, 2);
+        let t3 = t.frontal_slice(2); // zero-indexed slice 2 == paper's T3
+        let expect = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ]);
+        assert_eq!(t3, expect);
+    }
+
+    #[test]
+    fn matmul_tensor_index_conditions() {
+        // The paper's three 1-indexed membership conditions (§2.2.2)
+        // must agree with our constructive definition.
+        let (m, k, n) = (3, 4, 2);
+        let t = matmul_tensor(m, k, n);
+        for i in 1..=m * k {
+            for j in 1..=k * n {
+                for l in 1..=m * n {
+                    let cond = (i - 1) % k == (j - 1) / n
+                        && (j - 1) % n == (l - 1) % n
+                        && (i - 1) / k == (l - 1) / n;
+                    let val = t.get(i - 1, j - 1, l - 1);
+                    assert_eq!(val != 0.0, cond, "mismatch at ({i},{j},{l})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_computes_matmul() {
+        let (m, k, n) = (3, 2, 4);
+        let t = matmul_tensor(m, k, n);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let z = t.contract12(a.as_slice(), b.as_slice());
+        // Reference product.
+        for i in 0..m {
+            for j in 0..n {
+                let want: f64 = (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum();
+                assert!((z[i * n + j] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_outer_then_contract_is_bilinear() {
+        let mut t = Tensor3::zeros(2, 3, 2);
+        t.add_outer(2.0, &[1.0, 0.0], &[0.0, 1.0, 0.0], &[1.0, -1.0]);
+        assert_eq!(t.get(0, 1, 0), 2.0);
+        assert_eq!(t.get(0, 1, 1), -2.0);
+        assert_eq!(t.nnz(0.0), 2);
+        let c = t.contract12(&[3.0, 5.0], &[7.0, 11.0, 13.0]);
+        assert_eq!(c, vec![2.0 * 3.0 * 11.0, -2.0 * 3.0 * 11.0]);
+    }
+
+    #[test]
+    fn unfoldings_preserve_entries() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        t.set(1, 2, 3, 5.0);
+        t.set(0, 1, 2, -1.0);
+        assert_eq!(t.unfold1()[(1, 2 * 4 + 3)], 5.0);
+        assert_eq!(t.unfold2()[(2, 1 * 4 + 3)], 5.0);
+        assert_eq!(t.unfold3()[(3, 1 * 3 + 2)], 5.0);
+        assert_eq!(t.unfold3()[(2, 0 * 3 + 1)], -1.0);
+    }
+
+    #[test]
+    fn frobenius_and_diff() {
+        let mut a = Tensor3::zeros(2, 2, 2);
+        a.set(0, 0, 0, 3.0);
+        a.set(1, 1, 1, 4.0);
+        assert!((a.frobenius() - 5.0).abs() < 1e-14);
+        let b = Tensor3::zeros(2, 2, 2);
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade crate: re-exports the full fast-matmul workspace API.
+pub use fmm_algo as algo;
+pub use fmm_core as core;
+pub use fmm_gemm as gemm;
+pub use fmm_matrix as matrix;
+pub use fmm_search as search;
+pub use fmm_tensor as tensor;

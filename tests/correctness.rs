@@ -1,0 +1,159 @@
+//! Cross-crate integration: every catalog algorithm, every addition
+//! strategy, every parallel scheme — all must agree with the naive
+//! reference multiplication, including on dimensions that force
+//! dynamic peeling at every level.
+
+use fast_matmul::algo;
+use fast_matmul::core::{AdditionMethod, FastMul, Options, Scheme};
+use fast_matmul::matrix::{max_abs_diff, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    fast_matmul::gemm::naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    c
+}
+
+fn check(dec: &fast_matmul::tensor::Decomposition, p: usize, q: usize, r: usize, opts: Options, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random(p, q, &mut rng);
+    let b = Matrix::random(q, r, &mut rng);
+    let want = reference(&a, &b);
+    let got = FastMul::new(dec, opts).multiply(&a, &b);
+    let d = max_abs_diff(&want.as_ref(), &got.as_ref()).unwrap();
+    assert!(
+        d < 1e-9 * q as f64,
+        "mismatch {d:.3e} at {p}x{q}x{r} with {opts:?}"
+    );
+}
+
+#[test]
+fn every_catalog_algorithm_multiplies_correctly() {
+    for alg in algo::catalog() {
+        let (m, k, n) = alg.dec.base();
+        // A size divisible twice plus a ragged size.
+        let p = m * m * 4 + 3;
+        let q = k * k * 4 + 1;
+        let r = n * n * 4 + 2;
+        for steps in [1usize, 2] {
+            check(
+                &alg.dec,
+                p,
+                q,
+                r,
+                Options {
+                    steps,
+                    ..Options::default()
+                },
+                1000 + steps as u64,
+            );
+        }
+    }
+}
+
+#[test]
+fn strategy_matrix_full_cross_product() {
+    let strassen = algo::by_name("strassen").unwrap().dec;
+    for additions in [
+        AdditionMethod::Pairwise,
+        AdditionMethod::WriteOnce,
+        AdditionMethod::Streaming,
+    ] {
+        for cse in [false, true] {
+            for scheme in [Scheme::Sequential, Scheme::Dfs, Scheme::Bfs, Scheme::Hybrid] {
+                check(
+                    &strassen,
+                    101,
+                    67,
+                    89,
+                    Options {
+                        steps: 2,
+                        additions,
+                        cse,
+                        scheme,
+                        ..Options::default()
+                    },
+                    7,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cse_on_catalog_algorithms_changes_nothing() {
+    // CSE must be a pure evaluation-plan optimization.
+    for name in ["<3,3,3>", "<4,2,4>", "<4,3,3>", "<2,3,3>"] {
+        let alg = algo::by_name(name).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, k, n) = alg.dec.base();
+        let (p, q, r) = (m * 20, k * 20, n * 20);
+        let a = Matrix::random(p, q, &mut rng);
+        let b = Matrix::random(q, r, &mut rng);
+        let plain = FastMul::new(
+            &alg.dec,
+            Options {
+                steps: 1,
+                cse: false,
+                ..Options::default()
+            },
+        )
+        .multiply(&a, &b);
+        let with_cse = FastMul::new(
+            &alg.dec,
+            Options {
+                steps: 1,
+                cse: true,
+                ..Options::default()
+            },
+        )
+        .multiply(&a, &b);
+        let d = max_abs_diff(&plain.as_ref(), &with_cse.as_ref()).unwrap();
+        assert!(d < 1e-10, "{name}: CSE changed the result by {d:.2e}");
+    }
+}
+
+#[test]
+fn deep_recursion_on_divisible_sizes() {
+    let strassen = algo::by_name("strassen").unwrap().dec;
+    check(
+        &strassen,
+        256,
+        256,
+        256,
+        Options {
+            steps: 5,
+            ..Options::default()
+        },
+        13,
+    );
+}
+
+#[test]
+fn extreme_aspect_ratios() {
+    let a424 = algo::by_name("<4,2,4>").unwrap().dec;
+    check(&a424, 400, 16, 400, Options::default(), 17); // outer product
+    let a433 = algo::by_name("<4,3,3>").unwrap().dec;
+    check(&a433, 500, 27, 27, Options::default(), 19); // tall and skinny
+    let strassen = algo::by_name("strassen").unwrap().dec;
+    check(&strassen, 8, 512, 8, Options::default(), 23); // inner product shape
+}
+
+#[test]
+fn one_dimensional_degenerate_cases() {
+    let strassen = algo::by_name("strassen").unwrap().dec;
+    for (p, q, r) in [(1, 64, 64), (64, 1, 64), (64, 64, 1), (1, 1, 1)] {
+        check(
+            &strassen,
+            p,
+            q,
+            r,
+            Options {
+                steps: 2,
+                ..Options::default()
+            },
+            29,
+        );
+    }
+}
