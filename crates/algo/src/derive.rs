@@ -21,7 +21,12 @@ const MAX_DIM: usize = 12;
 ///
 /// Seeds are used directly and in all dimension permutations. Returns a
 /// verified decomposition together with a human-readable derivation.
-pub fn derive_best(m: usize, k: usize, n: usize, seeds: &[Decomposition]) -> (Decomposition, String) {
+pub fn derive_best(
+    m: usize,
+    k: usize,
+    n: usize,
+    seeds: &[Decomposition],
+) -> (Decomposition, String) {
     let mut memo: HashMap<(usize, usize, usize), (usize, Derivation)> = HashMap::new();
     let mut seed_map: HashMap<(usize, usize, usize), (usize, usize)> = HashMap::new();
     // seed_map: base → (rank, seed index); keep the best per base,
@@ -51,7 +56,7 @@ pub fn derive_best(m: usize, k: usize, n: usize, seeds: &[Decomposition]) -> (De
         .get(&(m, k, n))
         .map(|(_, d)| d.clone())
         .unwrap_or(Derivation::Classical);
-    let dec = build(m, k, n, &derivation, seeds, &seed_map, &memo);
+    let dec = build(m, k, n, &derivation, seeds, &memo);
     debug_assert_eq!(dec.rank(), rank);
     let desc = describe(m, k, n, &derivation, &memo);
     (dec, desc)
@@ -139,7 +144,6 @@ fn build(
     n: usize,
     d: &Derivation,
     seeds: &[Decomposition],
-    seed_map: &HashMap<(usize, usize, usize), (usize, usize)>,
     memo: &HashMap<(usize, usize, usize), (usize, Derivation)>,
 ) -> Decomposition {
     let sub = |mm: usize, kk: usize, nn: usize| -> Decomposition {
@@ -147,7 +151,7 @@ fn build(
             .get(&(mm, kk, nn))
             .map(|(_, d)| d.clone())
             .unwrap_or(Derivation::Classical);
-        build(mm, kk, nn, &der, seeds, seed_map, memo)
+        build(mm, kk, nn, &der, seeds, memo)
     };
     match d {
         Derivation::Classical => classical(m, k, n),

@@ -26,7 +26,10 @@ pub fn parse(text: &str) -> Result<Decomposition, String> {
     let header = lines.next().ok_or("empty .alg file")?;
     let dims: Vec<usize> = header
         .split_whitespace()
-        .map(|t| t.parse().map_err(|e| format!("bad header token {t:?}: {e}")))
+        .map(|t| {
+            t.parse()
+                .map_err(|e| format!("bad header token {t:?}: {e}"))
+        })
         .collect::<Result<_, String>>()?;
     let [m, k, n, rank] = dims.as_slice() else {
         return Err(format!("header must be `m k n rank`, got {header:?}"));

@@ -83,6 +83,13 @@ impl FastAlgorithm {
 /// equations to be considered exact.
 pub const EXACT_TOL: f64 = 1e-9;
 
+/// The raw `.alg` files embedded at build time, as
+/// `(file_name, contents)` pairs — exposed so integration tests can
+/// smoke-check every shipped coefficient file.
+pub fn embedded_files() -> &'static [(&'static str, &'static str)] {
+    embedded::EMBEDDED
+}
+
 fn load_embedded(m: usize, k: usize, n: usize, rank: usize) -> Option<(Decomposition, Provenance)> {
     let want = format!("searched_{m}{k}{n}_{rank}.alg");
     for (name, text) in embedded::EMBEDDED {
@@ -264,10 +271,7 @@ pub fn by_name(name: &str) -> Option<FastAlgorithm> {
 
 /// All canonical Table-2 algorithms (exact entries only).
 pub fn catalog() -> Vec<FastAlgorithm> {
-    let mut out = vec![
-        by_name("strassen").unwrap(),
-        by_name("winograd").unwrap(),
-    ];
+    let mut out = vec![by_name("strassen").unwrap(), by_name("winograd").unwrap()];
     for ((m, k, n), _) in TABLE2_BASES {
         if (*m, *k, *n) == (2, 2, 2) {
             continue; // strassen already included

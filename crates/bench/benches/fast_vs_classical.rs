@@ -28,9 +28,19 @@ fn bench_fast(c: &mut Criterion) {
         ("strassen-1step", fmm_algo::strassen(), 1),
         ("strassen-2step", fmm_algo::strassen(), 2),
         ("winograd-2step", fmm_algo::winograd(), 2),
-        ("<4,2,4>-1step", fmm_algo::by_name("<4,2,4>").unwrap().dec, 1),
+        (
+            "<4,2,4>-1step",
+            fmm_algo::by_name("<4,2,4>").unwrap().dec,
+            1,
+        ),
     ] {
-        let fm = FastMul::new(&alg, Options { steps, ..Default::default() });
+        let fm = FastMul::new(
+            &alg,
+            Options {
+                steps,
+                ..Default::default()
+            },
+        );
         group.bench_function(name, |bench| {
             bench.iter(|| {
                 fm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());

@@ -26,11 +26,21 @@ fn bench_gemm(c: &mut Criterion) {
         ("packed-default", GemmConfig::default()),
         (
             "packed-small-blocks",
-            GemmConfig { mc: 32, kc: 64, nc: 256, small_cutoff: 16 },
+            GemmConfig {
+                mc: 32,
+                kc: 64,
+                nc: 256,
+                small_cutoff: 16,
+            },
         ),
         (
             "packed-large-blocks",
-            GemmConfig { mc: 256, kc: 512, nc: 4096, small_cutoff: 32 },
+            GemmConfig {
+                mc: 256,
+                kc: 512,
+                nc: 4096,
+                small_cutoff: 32,
+            },
         ),
     ] {
         group.bench_function(label, |bench| {

@@ -1,0 +1,26 @@
+//! Export a catalog algorithm as a `.alg` coefficient file on stdout,
+//! e.g. to seed `crates/algo/data/`:
+//!
+//! ```text
+//! cargo run -p fmm-bench --example export_alg -- strassen \
+//!     > crates/algo/data/strassen_222.alg
+//! ```
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: export_alg <name>   (e.g. strassen, winograd, '<2,2,3>')");
+        std::process::exit(2);
+    });
+    let alg = fmm_algo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown algorithm {name:?}");
+        std::process::exit(2);
+    });
+    let comment = format!(
+        "{} {} — rank {}, provenance {:?}",
+        alg.name,
+        alg.base_label(),
+        alg.dec.rank(),
+        alg.provenance
+    );
+    print!("{}", fmm_algo::serialize(&alg.dec, Some(&comment)));
+}

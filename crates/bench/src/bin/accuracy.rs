@@ -17,14 +17,20 @@ fn main() {
         fmm_algo::by_name("<4,2,4>").unwrap(),
         fmm_algo::by_name("<4,3,3>").unwrap(),
     ];
-    for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()].into_iter().flatten() {
+    for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()]
+        .into_iter()
+        .flatten()
+    {
         algos.push(apa);
     }
     for alg in &algos {
         for steps in 1..=3usize {
             let e = forward_error(
                 &alg.dec,
-                Options { steps, ..Default::default() },
+                Options {
+                    steps,
+                    ..Default::default()
+                },
                 n,
                 7,
             );

@@ -9,7 +9,11 @@ use fmm_matrix::Matrix;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let sizes: Vec<usize> = if cfg.quick { vec![216, 324, 432] } else { vec![324, 540, 756, 1080] };
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![216, 324, 432]
+    } else {
+        vec![324, 540, 756, 1080]
+    };
     let sched = fmm_algo::schedule_54();
     let sched_refs: Vec<&fmm_tensor::Decomposition> = sched.iter().collect();
     let strassen = fmm_algo::strassen();
@@ -17,8 +21,16 @@ fn main() {
     for &n in &sizes {
         rows.push(measure_classical("composed54", n, n, n, 1, cfg.trials));
         rows.push(measure_fast(
-            "composed54", "strassen", &strassen, n, n, n, 1, &[1, 2, 3],
-            Default::default(), cfg.trials,
+            "composed54",
+            "strassen",
+            &strassen,
+            n,
+            n,
+            n,
+            1,
+            &[1, 2, 3],
+            Default::default(),
+            cfg.trials,
         ));
         // One pass of the full three-level schedule.
         let fm = FastMul::with_schedule(&sched_refs, Options::default());
@@ -31,7 +43,9 @@ fn main() {
         rows.push(Measurement {
             experiment: "composed54".into(),
             algorithm: "<54,54,54> (336∘363∘633)".into(),
-            p: n, q: n, r: n,
+            p: n,
+            q: n,
+            r: n,
             threads: 1,
             steps: 3,
             seconds: secs,

@@ -17,8 +17,16 @@ fn main() {
     for &n in &sizes {
         for steps in 0..=4usize {
             let m = measure_fast(
-                "cutoff", "strassen", &s, n, n, n, 1, &[steps],
-                Options::default(), cfg.trials,
+                "cutoff",
+                "strassen",
+                &s,
+                n,
+                n,
+                n,
+                1,
+                &[steps],
+                Options::default(),
+                cfg.trials,
             );
             println!("{n},{steps},{:.6},{:.3}", m.seconds, m.effective_gflops);
         }

@@ -18,12 +18,28 @@ fn main() {
     for &n in sizes {
         rows.push(measure_classical("fig1", n, n, n, 1, cfg.trials));
         rows.push(measure_fast(
-            "fig1", "strassen", &strassen, n, n, n, 1, steps,
-            Default::default(), cfg.trials,
+            "fig1",
+            "strassen",
+            &strassen,
+            n,
+            n,
+            n,
+            1,
+            steps,
+            Default::default(),
+            cfg.trials,
         ));
         rows.push(measure_fast(
-            "fig1", "winograd", &winograd, n, n, n, 1, steps,
-            Default::default(), cfg.trials,
+            "fig1",
+            "winograd",
+            &winograd,
+            n,
+            n,
+            n,
+            1,
+            steps,
+            Default::default(),
+            cfg.trials,
         ));
     }
     emit(&cfg, &rows);

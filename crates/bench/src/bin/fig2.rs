@@ -36,14 +36,28 @@ fn main() {
                 let mut m = measure_fast(
                     &format!("fig2-424-{steps}step"),
                     &format!("<4,2,4> {vname}"),
-                    &a424.dec, n, k_fixed, n, 1, &[steps], opts, cfg.trials,
+                    &a424.dec,
+                    n,
+                    k_fixed,
+                    n,
+                    1,
+                    &[steps],
+                    opts,
+                    cfg.trials,
                 );
                 m.steps = steps;
                 rows.push(m);
                 let mut m = measure_fast(
                     &format!("fig2-423-{steps}step"),
                     &format!("<4,2,3> {vname}"),
-                    &a423.dec, n, n, n, 1, &[steps], opts, cfg.trials,
+                    &a423.dec,
+                    n,
+                    n,
+                    n,
+                    1,
+                    &[steps],
+                    opts,
+                    cfg.trials,
                 );
                 m.steps = steps;
                 rows.push(m);

@@ -25,25 +25,63 @@ fn main() {
     let mut rows = Vec::new();
     for &threads in &cfg.thread_counts {
         for &n in &sizes {
-            rows.push(measure_classical("fig4-square", n, n, n, threads, cfg.trials));
-            rows.push(measure_classical("fig4-424", n, k424, n, threads, cfg.trials));
-            rows.push(measure_classical("fig4-433", n, k433, k433, threads, cfg.trials));
+            rows.push(measure_classical(
+                "fig4-square",
+                n,
+                n,
+                n,
+                threads,
+                cfg.trials,
+            ));
+            rows.push(measure_classical(
+                "fig4-424", n, k424, n, threads, cfg.trials,
+            ));
+            rows.push(measure_classical(
+                "fig4-433", n, k433, k433, threads, cfg.trials,
+            ));
             for (sname, scheme) in schemes {
                 if threads == 1 && scheme != Scheme::Dfs {
                     continue; // schemes coincide at one thread
                 }
-                let opts = Options { scheme, ..Default::default() };
+                let opts = Options {
+                    scheme,
+                    ..Default::default()
+                };
                 rows.push(measure_fast(
-                    "fig4-square", &format!("strassen {sname}"),
-                    &strassen, n, n, n, threads, steps, opts, cfg.trials,
+                    "fig4-square",
+                    &format!("strassen {sname}"),
+                    &strassen,
+                    n,
+                    n,
+                    n,
+                    threads,
+                    steps,
+                    opts,
+                    cfg.trials,
                 ));
                 rows.push(measure_fast(
-                    "fig4-424", &format!("<4,2,4> {sname}"),
-                    &a424, n, k424, n, threads, steps, opts, cfg.trials,
+                    "fig4-424",
+                    &format!("<4,2,4> {sname}"),
+                    &a424,
+                    n,
+                    k424,
+                    n,
+                    threads,
+                    steps,
+                    opts,
+                    cfg.trials,
                 ));
                 rows.push(measure_fast(
-                    "fig4-433", &format!("<4,3,3> {sname}"),
-                    &a433, n, k433, k433, threads, steps, opts, cfg.trials,
+                    "fig4-433",
+                    &format!("<4,3,3> {sname}"),
+                    &a433,
+                    n,
+                    k433,
+                    k433,
+                    threads,
+                    steps,
+                    opts,
+                    cfg.trials,
                 ));
             }
         }

@@ -19,21 +19,31 @@ fn main() {
     // Square panel: every catalog algorithm and key permutations.
     let mut algos: Vec<fmm_algo::FastAlgorithm> = fmm_algo::catalog();
     for name in [
-        "<4,2,2>", "<3,2,3>", "<3,3,2>", "<5,2,2>", "<2,5,2>", "<3,2,2>",
-        "<3,2,4>", "<4,2,3>", "<3,4,2>", "<4,2,4>", "<2,3,4>", "<4,4,2>",
-        "<4,3,3>", "<3,4,3>", "<3,6,3>", "<6,3,3>",
+        "<4,2,2>", "<3,2,3>", "<3,3,2>", "<5,2,2>", "<2,5,2>", "<3,2,2>", "<3,2,4>", "<4,2,3>",
+        "<3,4,2>", "<4,2,4>", "<2,3,4>", "<4,4,2>", "<4,3,3>", "<3,4,3>", "<3,6,3>", "<6,3,3>",
     ] {
         algos.push(fmm_algo::by_name(name).unwrap());
     }
-    for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()].into_iter().flatten() {
+    for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()]
+        .into_iter()
+        .flatten()
+    {
         algos.push(apa);
     }
     for &n in &square_sizes {
         rows.push(measure_classical("fig5-square", n, n, n, 1, cfg.trials));
         for alg in &algos {
             rows.push(measure_fast(
-                "fig5-square", &alg.name, &alg.dec, n, n, n, 1, steps,
-                Default::default(), cfg.trials,
+                "fig5-square",
+                &alg.name,
+                &alg.dec,
+                n,
+                n,
+                n,
+                1,
+                steps,
+                Default::default(),
+                cfg.trials,
             ));
         }
     }
@@ -42,27 +52,76 @@ fn main() {
     let rect_names = ["strassen", "<4,2,4>", "<4,3,3>", "<3,2,3>", "<4,2,3>"];
     let rect_steps: &[usize] = &[1, 2];
     for &n in &square_sizes {
-        rows.push(measure_classical("fig5-outer", n, k_outer, n, 1, cfg.trials));
-        rows.push(measure_classical("fig5-tall", n, k_tall, k_tall, 1, cfg.trials));
+        rows.push(measure_classical(
+            "fig5-outer",
+            n,
+            k_outer,
+            n,
+            1,
+            cfg.trials,
+        ));
+        rows.push(measure_classical(
+            "fig5-tall",
+            n,
+            k_tall,
+            k_tall,
+            1,
+            cfg.trials,
+        ));
         for name in rect_names {
             let alg = fmm_algo::by_name(name).unwrap();
             rows.push(measure_fast(
-                "fig5-outer", name, &alg.dec, n, k_outer, n, 1, rect_steps,
-                Default::default(), cfg.trials,
+                "fig5-outer",
+                name,
+                &alg.dec,
+                n,
+                k_outer,
+                n,
+                1,
+                rect_steps,
+                Default::default(),
+                cfg.trials,
             ));
             rows.push(measure_fast(
-                "fig5-tall", name, &alg.dec, n, k_tall, k_tall, 1, rect_steps,
-                Default::default(), cfg.trials,
+                "fig5-tall",
+                name,
+                &alg.dec,
+                n,
+                k_tall,
+                k_tall,
+                1,
+                rect_steps,
+                Default::default(),
+                cfg.trials,
             ));
         }
-        for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()].into_iter().flatten() {
+        for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()]
+            .into_iter()
+            .flatten()
+        {
             rows.push(measure_fast(
-                "fig5-outer", &apa.name, &apa.dec, n, k_outer, n, 1, rect_steps,
-                Default::default(), cfg.trials,
+                "fig5-outer",
+                &apa.name,
+                &apa.dec,
+                n,
+                k_outer,
+                n,
+                1,
+                rect_steps,
+                Default::default(),
+                cfg.trials,
             ));
             rows.push(measure_fast(
-                "fig5-tall", &apa.name, &apa.dec, n, k_tall, k_tall, 1, rect_steps,
-                Default::default(), cfg.trials,
+                "fig5-tall",
+                &apa.name,
+                &apa.dec,
+                n,
+                k_tall,
+                k_tall,
+                1,
+                rect_steps,
+                Default::default(),
+                cfg.trials,
             ));
         }
     }

@@ -13,19 +13,39 @@ fn main() {
     };
     let steps: &[usize] = &[1, 2, 3];
     let mut algos = fmm_algo::catalog();
-    for name in ["<4,2,2>", "<3,2,3>", "<3,3,2>", "<5,2,2>", "<4,2,4>", "<4,3,3>"] {
+    for name in [
+        "<4,2,2>", "<3,2,3>", "<3,3,2>", "<5,2,2>", "<4,2,4>", "<4,3,3>",
+    ] {
         algos.push(fmm_algo::by_name(name).unwrap());
     }
-    for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()].into_iter().flatten() {
+    for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()]
+        .into_iter()
+        .flatten()
+    {
         algos.push(apa);
     }
     let mut rows = Vec::new();
     for &threads in &cfg.thread_counts {
         for &n in &sizes {
-            rows.push(measure_classical("fig6-square", n, n, n, threads, cfg.trials));
+            rows.push(measure_classical(
+                "fig6-square",
+                n,
+                n,
+                n,
+                threads,
+                cfg.trials,
+            ));
             for alg in &algos {
                 rows.push(measure_fast_best_scheme(
-                    "fig6-square", &alg.name, &alg.dec, n, n, n, threads, steps, cfg.trials,
+                    "fig6-square",
+                    &alg.name,
+                    &alg.dec,
+                    n,
+                    n,
+                    n,
+                    threads,
+                    steps,
+                    cfg.trials,
                 ));
             }
         }

@@ -17,23 +17,72 @@ fn main() {
     let mut rows = Vec::new();
     for &threads in &cfg.thread_counts {
         for &n in &sizes {
-            rows.push(measure_classical("fig7-outer", n, k_outer, n, threads, cfg.trials));
-            rows.push(measure_classical("fig7-tall", n, k_tall, k_tall, threads, cfg.trials));
+            rows.push(measure_classical(
+                "fig7-outer",
+                n,
+                k_outer,
+                n,
+                threads,
+                cfg.trials,
+            ));
+            rows.push(measure_classical(
+                "fig7-tall",
+                n,
+                k_tall,
+                k_tall,
+                threads,
+                cfg.trials,
+            ));
             for name in names {
                 let alg = fmm_algo::by_name(name).unwrap();
                 rows.push(measure_fast_best_scheme(
-                    "fig7-outer", name, &alg.dec, n, k_outer, n, threads, steps, cfg.trials,
+                    "fig7-outer",
+                    name,
+                    &alg.dec,
+                    n,
+                    k_outer,
+                    n,
+                    threads,
+                    steps,
+                    cfg.trials,
                 ));
                 rows.push(measure_fast_best_scheme(
-                    "fig7-tall", name, &alg.dec, n, k_tall, k_tall, threads, steps, cfg.trials,
+                    "fig7-tall",
+                    name,
+                    &alg.dec,
+                    n,
+                    k_tall,
+                    k_tall,
+                    threads,
+                    steps,
+                    cfg.trials,
                 ));
             }
-            for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()].into_iter().flatten() {
+            for apa in [fmm_algo::bini_apa(), fmm_algo::schonhage_apa()]
+                .into_iter()
+                .flatten()
+            {
                 rows.push(measure_fast_best_scheme(
-                    "fig7-outer", &apa.name, &apa.dec, n, k_outer, n, threads, steps, cfg.trials,
+                    "fig7-outer",
+                    &apa.name,
+                    &apa.dec,
+                    n,
+                    k_outer,
+                    n,
+                    threads,
+                    steps,
+                    cfg.trials,
                 ));
                 rows.push(measure_fast_best_scheme(
-                    "fig7-tall", &apa.name, &apa.dec, n, k_tall, k_tall, threads, steps, cfg.trials,
+                    "fig7-tall",
+                    &apa.name,
+                    &apa.dec,
+                    n,
+                    k_tall,
+                    k_tall,
+                    threads,
+                    steps,
+                    cfg.trials,
                 ));
             }
         }

@@ -18,17 +18,19 @@ fn main() {
         let (a, b) = workload(n, n, n, 1);
         let mut c = Matrix::zeros(n, n);
         for steps in 1..=2usize {
-            let fm = FastMul::new(&alg.dec, Options { steps, ..Default::default() });
+            let fm = FastMul::new(
+                &alg.dec,
+                Options {
+                    steps,
+                    ..Default::default()
+                },
+            );
             let stats = fm.multiply_into_with_stats(a.as_ref(), b.as_ref(), c.as_mut());
             let temp_mb = stats.temp_elements as f64 * 8.0 / 1e6;
             // Geometric model: Σ_l (R/(M·N))^l · |C| for the M_r alone.
             let ratio = rank / (m as f64 * nn as f64);
-            let model: f64 = (1..=steps)
-                .map(|l| ratio.powi(l as i32))
-                .sum::<f64>()
-                * (n * n) as f64
-                * 8.0
-                / 1e6;
+            let model: f64 =
+                (1..=steps).map(|l| ratio.powi(l as i32)).sum::<f64>() * (n * n) as f64 * 8.0 / 1e6;
             println!(
                 "{name},{steps},{temp_mb:.1},{model:.1},{:.1}",
                 (n * n) as f64 * 8.0 / 1e6

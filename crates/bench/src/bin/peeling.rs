@@ -6,15 +6,27 @@ use fmm_bench::*;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let centers: Vec<usize> = if cfg.quick { vec![256, 512] } else { vec![512, 1024, 2048] };
+    let centers: Vec<usize> = if cfg.quick {
+        vec![256, 512]
+    } else {
+        vec![512, 1024, 2048]
+    };
     let s = fmm_algo::strassen();
     println!("n,seconds,effective_gflops");
     for &c in &centers {
         for delta in [-3i64, -1, 0, 1, 3] {
             let n = (c as i64 + delta) as usize;
             let m = measure_fast(
-                "peeling", "strassen", &s, n, n, n, 1, &[1, 2],
-                Default::default(), cfg.trials,
+                "peeling",
+                "strassen",
+                &s,
+                n,
+                n,
+                n,
+                1,
+                &[1, 2],
+                Default::default(),
+                cfg.trials,
             );
             println!("{n},{:.6},{:.3}", m.seconds, m.effective_gflops);
         }

@@ -29,9 +29,9 @@ fn main() {
         let batch: Vec<Row> = serde_json::from_str(&text).expect("parse json");
         rows.extend(batch);
     }
-    // experiment → (p,q,r,threads) → [(alg, gflops)]
-    let mut groups: BTreeMap<(String, usize, usize, usize, usize), Vec<(String, f64)>> =
-        BTreeMap::new();
+    // (experiment, p, q, r, threads) → [(alg, gflops)]
+    type Groups = BTreeMap<(String, usize, usize, usize, usize), Vec<(String, f64)>>;
+    let mut groups: Groups = BTreeMap::new();
     for row in rows {
         groups
             .entry((row.experiment, row.p, row.q, row.r, row.threads))

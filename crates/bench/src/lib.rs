@@ -96,7 +96,10 @@ pub fn time_median<F: FnMut()>(mut f: F, trials: usize) -> f64 {
 /// Random operands for a `P × Q × R` problem.
 pub fn workload(p: usize, q: usize, r: usize, seed: u64) -> (Matrix, Matrix) {
     let mut rng = StdRng::seed_from_u64(seed);
-    (Matrix::random(p, q, &mut rng), Matrix::random(q, r, &mut rng))
+    (
+        Matrix::random(p, q, &mut rng),
+        Matrix::random(q, r, &mut rng),
+    )
 }
 
 /// One measurement row, serializable for EXPERIMENTS.md extraction.
@@ -203,10 +206,7 @@ pub fn measure_fast(
     let tp = pool(threads);
     let mut best = (f64::INFINITY, 0usize);
     for &steps in steps_candidates {
-        let opts = Options {
-            steps,
-            ..base_opts
-        };
+        let opts = Options { steps, ..base_opts };
         let fm = FastMul::new(dec, opts);
         let secs = tp.install(|| {
             time_median(
@@ -300,7 +300,12 @@ mod tests {
 
     #[test]
     fn time_median_is_positive_and_ordered() {
-        let t = time_median(|| { std::hint::black_box(1 + 1); }, 5);
+        let t = time_median(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            5,
+        );
         assert!(t >= 0.0);
     }
 

@@ -218,11 +218,7 @@ impl FastMul {
         assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
         assert_eq!(c.rows(), a.rows(), "output rows mismatch");
         assert_eq!(c.cols(), b.cols(), "output cols mismatch");
-        let total_leaves: u64 = self
-            .levels
-            .iter()
-            .map(|l| l.rank as u64)
-            .product();
+        let total_leaves: u64 = self.levels.iter().map(|l| l.rank as u64).product();
         let threads = rayon::current_num_threads() as u64;
         let threshold = match self.opts.scheme {
             Scheme::Hybrid => total_leaves - (total_leaves % threads.max(1)),
@@ -302,7 +298,15 @@ impl Ctx<'_> {
     }
 
     /// Base-case gemm for the leaf with global index `leaf`.
-    fn leaf_gemm(&self, leaf: u64, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    fn leaf_gemm(
+        &self,
+        leaf: u64,
+        alpha: f64,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        beta: f64,
+        c: MatMut<'_>,
+    ) {
         self.count(|s| &s.base_gemms, 1);
         match self.scheme {
             Scheme::Sequential | Scheme::Bfs => gemm(alpha, a, b, beta, c),
@@ -318,7 +322,15 @@ impl Ctx<'_> {
     }
 
     /// Gemm used for peel strips at `depth`.
-    fn strip_gemm(&self, depth: usize, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    fn strip_gemm(
+        &self,
+        depth: usize,
+        alpha: f64,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        beta: f64,
+        c: MatMut<'_>,
+    ) {
         self.count(|s| &s.peel_gemms, 1);
         let par = match self.scheme {
             Scheme::Sequential => false,
@@ -350,7 +362,14 @@ impl Operand<'_> {
 }
 
 /// Recursive driver: peel, then run the fast step on the divisible core.
-fn run_node(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn run_node(
+    ctx: &Ctx<'_>,
+    depth: usize,
+    leaf_lo: u64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    mut c: MatMut<'_>,
+) {
     if depth == ctx.levels.len() {
         ctx.leaf_gemm(leaf_lo, 1.0, a, b, 0.0, c);
         return;
@@ -371,54 +390,105 @@ fn run_node(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef<
     // Fast multiplication on the divisible core, then the thin
     // dynamic-peeling fix-up products (§3.5). Sequential mutable
     // reborrows of C keep exclusive access sound.
-    fast_step(ctx, depth, leaf_lo, a11, b11, c.reborrow().into_block(0, 0, p1, r1));
+    fast_step(
+        ctx,
+        depth,
+        leaf_lo,
+        a11,
+        b11,
+        c.reborrow().into_block(0, 0, p1, r1),
+    );
 
     if dq > 0 {
         // C11 += A12·B21
         let a12 = a.block(0, q1, p1, dq);
         let b21 = b.block(q1, 0, dq, r1);
-        ctx.strip_gemm(depth, 1.0, a12, b21, 1.0, c.reborrow().into_block(0, 0, p1, r1));
+        ctx.strip_gemm(
+            depth,
+            1.0,
+            a12,
+            b21,
+            1.0,
+            c.reborrow().into_block(0, 0, p1, r1),
+        );
     }
     if dr > 0 {
         // C12 = A11·B12 + A12·B22
         let b12 = b.block(0, r1, q1, dr);
-        ctx.strip_gemm(depth, 1.0, a11, b12, 0.0, c.reborrow().into_block(0, r1, p1, dr));
+        ctx.strip_gemm(
+            depth,
+            1.0,
+            a11,
+            b12,
+            0.0,
+            c.reborrow().into_block(0, r1, p1, dr),
+        );
         if dq > 0 {
             let a12 = a.block(0, q1, p1, dq);
             let b22 = b.block(q1, r1, dq, dr);
-            ctx.strip_gemm(depth, 1.0, a12, b22, 1.0, c.reborrow().into_block(0, r1, p1, dr));
+            ctx.strip_gemm(
+                depth,
+                1.0,
+                a12,
+                b22,
+                1.0,
+                c.reborrow().into_block(0, r1, p1, dr),
+            );
         }
     }
     if dp > 0 {
         // C21 = A21·B11 + A22·B21
         let a21 = a.block(p1, 0, dp, q1);
-        ctx.strip_gemm(depth, 1.0, a21, b11, 0.0, c.reborrow().into_block(p1, 0, dp, r1));
+        ctx.strip_gemm(
+            depth,
+            1.0,
+            a21,
+            b11,
+            0.0,
+            c.reborrow().into_block(p1, 0, dp, r1),
+        );
         if dq > 0 {
             let a22 = a.block(p1, q1, dp, dq);
             let b21 = b.block(q1, 0, dq, r1);
-            ctx.strip_gemm(depth, 1.0, a22, b21, 1.0, c.reborrow().into_block(p1, 0, dp, r1));
+            ctx.strip_gemm(
+                depth,
+                1.0,
+                a22,
+                b21,
+                1.0,
+                c.reborrow().into_block(p1, 0, dp, r1),
+            );
         }
     }
     if dp > 0 && dr > 0 {
         // C22 = A21·B12 + A22·B22
         let a21 = a.block(p1, 0, dp, q1);
         let b12 = b.block(0, r1, q1, dr);
-        ctx.strip_gemm(depth, 1.0, a21, b12, 0.0, c.reborrow().into_block(p1, r1, dp, dr));
+        ctx.strip_gemm(
+            depth,
+            1.0,
+            a21,
+            b12,
+            0.0,
+            c.reborrow().into_block(p1, r1, dp, dr),
+        );
         if dq > 0 {
             let a22 = a.block(p1, q1, dp, dq);
             let b22 = b.block(q1, r1, dq, dr);
-            ctx.strip_gemm(depth, 1.0, a22, b22, 1.0, c.reborrow().into_block(p1, r1, dp, dr));
+            ctx.strip_gemm(
+                depth,
+                1.0,
+                a22,
+                b22,
+                1.0,
+                c.reborrow().into_block(p1, r1, dp, dr),
+            );
         }
     }
 }
 
 /// Evaluate the CSE temporaries of one side.
-fn eval_temps(
-    plan: &SidePlan,
-    grid: &Grid,
-    src: &MatRef<'_>,
-    par: bool,
-) -> Vec<Matrix> {
+fn eval_temps(plan: &SidePlan, grid: &Grid, src: &MatRef<'_>, par: bool) -> Vec<Matrix> {
     let mut temps: Vec<Matrix> = Vec::with_capacity(plan.temps.len());
     for def in &plan.temps {
         let mut out = Matrix::zeros(grid.rs, grid.cs);
@@ -516,7 +586,8 @@ fn form_side_streaming<'a>(
         .collect();
 
     // Reverse index: variable → [(chain, coef)].
-    let mut by_var: std::collections::HashMap<Var, Vec<(usize, f64)>> = std::collections::HashMap::new();
+    let mut by_var: std::collections::HashMap<Var, Vec<(usize, f64)>> =
+        std::collections::HashMap::new();
     for (r, chain) in plan.chains.iter().enumerate() {
         if plan.passthrough[r].is_some() {
             continue;
@@ -540,10 +611,7 @@ fn form_side_streaming<'a>(
             for &(r, coef) in targets {
                 debug_assert!(!taken.contains(&r));
                 taken.push(r);
-                let m = owned[r]
-                    .as_mut()
-                    .expect("streaming target must be owned")
-                    as *mut Matrix;
+                let m = owned[r].as_mut().expect("streaming target must be owned") as *mut Matrix;
                 // SAFETY: each chain index appears once in `targets`,
                 // so the &mut references are disjoint.
                 let m = unsafe { &mut *m };
@@ -571,7 +639,14 @@ fn form_side_streaming<'a>(
 }
 
 /// One fast recursive step on a divisible core problem.
-fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
+fn fast_step(
+    ctx: &Ctx<'_>,
+    depth: usize,
+    leaf_lo: u64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: MatMut<'_>,
+) {
     let lp = &ctx.levels[depth];
     let ga = Grid::new(a.rows(), a.cols(), lp.m, lp.k);
     let gb = Grid::new(b.rows(), b.cols(), lp.k, lp.n);
@@ -586,7 +661,9 @@ fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef
     // M_r storage.
     let sub_rows = a.rows() / lp.m;
     let sub_cols = b.cols() / lp.n;
-    let mut ms: Vec<Matrix> = (0..rank).map(|_| Matrix::zeros(sub_rows, sub_cols)).collect();
+    let mut ms: Vec<Matrix> = (0..rank)
+        .map(|_| Matrix::zeros(sub_rows, sub_cols))
+        .collect();
     ctx.count(|s| &s.temp_elements, (rank * sub_rows * sub_cols) as u64);
     // Scales piped from singleton S/T columns into the W combination.
     let mut scales = vec![1.0f64; rank];
@@ -606,7 +683,14 @@ fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef
                 for (r, m) in ms.iter_mut().enumerate() {
                     let (sv, _) = ss[r].as_view();
                     let (tv, _) = ts[r].as_view();
-                    run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                    run_node(
+                        ctx,
+                        depth + 1,
+                        leaf_lo + r as u64 * leaves_per_child,
+                        sv,
+                        tv,
+                        m.as_mut(),
+                    );
                 }
             } else {
                 rayon::scope(|scope| {
@@ -616,7 +700,14 @@ fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef
                         scope.spawn(move |_| {
                             let (sv, _) = ssr[r].as_view();
                             let (tv, _) = tsr[r].as_view();
-                            run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                            run_node(
+                                ctx,
+                                depth + 1,
+                                leaf_lo + r as u64 * leaves_per_child,
+                                sv,
+                                tv,
+                                m.as_mut(),
+                            );
                         });
                     }
                 });
@@ -630,11 +721,19 @@ fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef
                     let (sv, su) = s.as_view();
                     let (tv, tu) = t.as_view();
                     scales[r] = su * tu;
-                    run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                    run_node(
+                        ctx,
+                        depth + 1,
+                        leaf_lo + r as u64 * leaves_per_child,
+                        sv,
+                        tv,
+                        m.as_mut(),
+                    );
                 }
             } else {
-                let scale_slots: Vec<std::sync::atomic::AtomicU64> =
-                    (0..rank).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+                let scale_slots: Vec<std::sync::atomic::AtomicU64> = (0..rank)
+                    .map(|_| std::sync::atomic::AtomicU64::new(0))
+                    .collect();
                 rayon::scope(|scope| {
                     for (r, m) in ms.iter_mut().enumerate() {
                         let utemps = &utemps;
@@ -643,12 +742,22 @@ fn fast_step(ctx: &Ctx<'_>, depth: usize, leaf_lo: u64, a: MatRef<'_>, b: MatRef
                         scope.spawn(move |_| {
                             // S/T formation is part of the task (§4.2),
                             // hence sequential additions here.
-                            let s = form_operand(&lp.uplan, r, &ga, &a, utemps, ctx.additions, false);
-                            let t = form_operand(&lp.vplan, r, &gb, &b, vtemps, ctx.additions, false);
+                            let s =
+                                form_operand(&lp.uplan, r, &ga, &a, utemps, ctx.additions, false);
+                            let t =
+                                form_operand(&lp.vplan, r, &gb, &b, vtemps, ctx.additions, false);
                             let (sv, su) = s.as_view();
                             let (tv, tu) = t.as_view();
-                            slots[r].store((su * tu).to_bits(), std::sync::atomic::Ordering::Relaxed);
-                            run_node(ctx, depth + 1, leaf_lo + r as u64 * leaves_per_child, sv, tv, m.as_mut());
+                            slots[r]
+                                .store((su * tu).to_bits(), std::sync::atomic::Ordering::Relaxed);
+                            run_node(
+                                ctx,
+                                depth + 1,
+                                leaf_lo + r as u64 * leaves_per_child,
+                                sv,
+                                tv,
+                                m.as_mut(),
+                            );
                         });
                     }
                 });

@@ -89,10 +89,7 @@ pub fn flop_model(dec: &Decomposition, p: usize, q: usize, s: usize, steps: usiz
     let sub_u = (p / m) as f64 * (q / k) as f64;
     let sub_v = (q / k) as f64 * (s / n) as f64;
     let sub_w = (p / m) as f64 * (s / n) as f64;
-    let u_adds = dec
-        .u
-        .nnz(1e-14)
-        .saturating_sub(dec.rank()) as f64;
+    let u_adds = dec.u.nnz(1e-14).saturating_sub(dec.rank()) as f64;
     let v_adds = dec.v.nnz(1e-14).saturating_sub(dec.rank()) as f64;
     let w_adds = adds - u_adds - v_adds;
     let add_flops = u_adds * sub_u + v_adds * sub_v + w_adds.max(0.0) * sub_w;

@@ -38,11 +38,7 @@ impl SidePlan {
     /// (each chain of `z` terms costs `z − 1`; each temp costs its
     /// length − 1).
     pub fn addition_count(&self) -> usize {
-        let chain_adds: usize = self
-            .chains
-            .iter()
-            .map(|c| c.len().saturating_sub(1))
-            .sum();
+        let chain_adds: usize = self.chains.iter().map(|c| c.len().saturating_sub(1)).sum();
         let temp_adds: usize = self.temps.iter().map(|t| t.len().saturating_sub(1)).sum();
         chain_adds + temp_adds
     }
@@ -72,10 +68,7 @@ pub fn side_plan(factor: &Matrix, cse: bool, tol: f64) -> SidePlan {
     let mut temps: Vec<Chain> = Vec::new();
 
     if cse {
-        loop {
-            let Some(((va, vb, ratio), count)) = most_frequent_pair(&chains) else {
-                break;
-            };
+        while let Some(((va, vb, ratio), count)) = most_frequent_pair(&chains) {
             if count < 2 {
                 break;
             }
@@ -169,7 +162,8 @@ impl CseStats {
 /// Compute Table-3-style CSE statistics for the S and T chains of an
 /// algorithm's U and V factors.
 pub fn cse_stats(u: &Matrix, v: &Matrix, tol: f64) -> CseStats {
-    let before = side_plan(u, false, tol).addition_count() + side_plan(v, false, tol).addition_count();
+    let before =
+        side_plan(u, false, tol).addition_count() + side_plan(v, false, tol).addition_count();
     let up = side_plan(u, true, tol);
     let vp = side_plan(v, true, tol);
     CseStats {
@@ -206,8 +200,14 @@ mod tests {
         let u = mat(&[&[1.0, 0.0], &[-1.0, 2.0], &[0.0, 0.0], &[0.0, 1.0]]);
         let p = side_plan(&u, false, 1e-12);
         assert_eq!(p.chains.len(), 2);
-        assert_eq!(p.chains[0], vec![(Var::Block(0), 1.0), (Var::Block(1), -1.0)]);
-        assert_eq!(p.chains[1], vec![(Var::Block(1), 2.0), (Var::Block(3), 1.0)]);
+        assert_eq!(
+            p.chains[0],
+            vec![(Var::Block(0), 1.0), (Var::Block(1), -1.0)]
+        );
+        assert_eq!(
+            p.chains[1],
+            vec![(Var::Block(1), 2.0), (Var::Block(3), 1.0)]
+        );
         assert_eq!(p.addition_count(), 2);
         assert!(p.passthrough.iter().all(|x| x.is_none()));
     }

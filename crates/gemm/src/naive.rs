@@ -22,8 +22,8 @@ pub fn naive_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: Ma
     }
     for i in 0..m {
         let arow = a.row(i);
-        for p in 0..k {
-            let aip = alpha * arow[p];
+        for (p, &av) in arow.iter().enumerate() {
+            let aip = alpha * av;
             if aip == 0.0 {
                 continue;
             }

@@ -175,10 +175,10 @@ fn micro_kernel(
             }
         }
     }
-    for i in 0..mr_eff {
+    for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
         let crow = c.row_mut(i);
         for j in 0..nr_eff {
-            crow[j] += acc[i][j];
+            crow[j] += acc_row[j];
         }
     }
 }

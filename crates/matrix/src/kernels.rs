@@ -164,10 +164,10 @@ pub fn scale(mut dst: MatMut<'_>, alpha: f64) {
     }
 }
 
-fn split_terms<'a>(
-    terms: &[(f64, MatRef<'a>)],
-    mid: usize,
-) -> (Vec<(f64, MatRef<'a>)>, Vec<(f64, MatRef<'a>)>) {
+/// Scaled operands of a linear combination: `(coefficient, matrix)`.
+type Terms<'a> = Vec<(f64, MatRef<'a>)>;
+
+fn split_terms<'a>(terms: &[(f64, MatRef<'a>)], mid: usize) -> (Terms<'a>, Terms<'a>) {
     let top = terms
         .iter()
         .map(|(a, s)| (*a, s.block(0, 0, mid, s.cols())))
@@ -219,6 +219,34 @@ pub fn par_copy(dst: MatMut<'_>, src: MatRef<'_>) {
     let st = src.block(0, 0, mid, src.cols());
     let sb = src.block(mid, 0, src.rows() - mid, src.cols());
     rayon::join(|| par_copy(top, st), || par_copy(bot, sb));
+}
+
+/// Parallel [`stream_update`]: splits the source and every destination
+/// on rows and streams each half under rayon `join`. Used by the DFS
+/// scheme, which parallelizes *all* additions (§4.1), when the
+/// streaming strategy is selected.
+pub fn par_stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
+    if src.rows() <= PAR_GRAIN_ROWS || dsts.is_empty() {
+        stream_update(dsts, src);
+        return;
+    }
+    let mid = src.rows() / 2;
+    let s_top = src.block(0, 0, mid, src.cols());
+    let s_bot = src.block(mid, 0, src.rows() - mid, src.cols());
+    let mut tops: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(dsts.len());
+    let mut bots: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(dsts.len());
+    for (alpha, d) in dsts.iter_mut() {
+        let rows = d.rows();
+        let cols = d.cols();
+        let (t, b) = d.reborrow().split_at_row(mid.min(rows));
+        debug_assert_eq!(cols, src.cols());
+        tops.push((*alpha, t));
+        bots.push((*alpha, b));
+    }
+    rayon::join(
+        || par_stream_update(&mut tops, s_top),
+        || par_stream_update(&mut bots, s_bot),
+    );
 }
 
 #[cfg(test)]
@@ -358,32 +386,4 @@ mod tests {
         scale(c.as_mut(), 0.5);
         assert_eq!(c, Matrix::filled(3, 2, 1.0));
     }
-}
-
-/// Parallel [`stream_update`]: splits the source and every destination
-/// on rows and streams each half under rayon `join`. Used by the DFS
-/// scheme, which parallelizes *all* additions (§4.1), when the
-/// streaming strategy is selected.
-pub fn par_stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
-    if src.rows() <= PAR_GRAIN_ROWS || dsts.is_empty() {
-        stream_update(dsts, src);
-        return;
-    }
-    let mid = src.rows() / 2;
-    let s_top = src.block(0, 0, mid, src.cols());
-    let s_bot = src.block(mid, 0, src.rows() - mid, src.cols());
-    let mut tops: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(dsts.len());
-    let mut bots: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(dsts.len());
-    for (alpha, d) in dsts.iter_mut() {
-        let rows = d.rows();
-        let cols = d.cols();
-        let (t, b) = d.reborrow().split_at_row(mid.min(rows));
-        debug_assert_eq!(cols, src.cols());
-        tops.push((*alpha, t));
-        bots.push((*alpha, b));
-    }
-    rayon::join(
-        || par_stream_update(&mut tops, s_top),
-        || par_stream_update(&mut bots, s_bot),
-    );
 }

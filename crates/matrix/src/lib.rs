@@ -17,9 +17,9 @@
 //!   split (§3.5) used to handle arbitrary matrix dimensions.
 
 mod dense;
-mod view;
 pub mod kernels;
 pub mod partition;
+mod view;
 
 pub use dense::Matrix;
 pub use view::{MatMut, MatRef};

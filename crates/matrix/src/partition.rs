@@ -126,7 +126,15 @@ impl PeelSplit {
 /// Largest recursion depth `L` such that every level of an `⟨m,k,n⟩`
 /// algorithm sees sub-blocks no smaller than `min_dim` on the core
 /// problem (a simple static form of the paper's §3.4 cutoff rule).
-pub fn max_steps_for(p: usize, q: usize, r: usize, m: usize, k: usize, n: usize, min_dim: usize) -> usize {
+pub fn max_steps_for(
+    p: usize,
+    q: usize,
+    r: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    min_dim: usize,
+) -> usize {
     let mut steps = 0;
     let (mut p, mut q, mut r) = (p, q, r);
     while p / m >= min_dim && q / k >= min_dim && r / n >= min_dim {

@@ -321,7 +321,6 @@ impl<'a> MatMut<'a> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::Matrix;
 
     #[test]

@@ -25,6 +25,9 @@ fn main() {
             res.restarts_used,
             t0.elapsed()
         ),
-        None => println!("⟨{m},{k},{n}⟩ rank {rank}: NOT FOUND in {restarts} restarts [{:.1?}]", t0.elapsed()),
+        None => println!(
+            "⟨{m},{k},{n}⟩ rank {rank}: NOT FOUND in {restarts} restarts [{:.1?}]",
+            t0.elapsed()
+        ),
     }
 }

@@ -42,9 +42,15 @@ fn main() {
     let mut border = false;
     let mut snap = false;
     args.retain(|a| {
-        if a == "--border" { border = true; false }
-        else if a == "--snap" { snap = true; false }
-        else { true }
+        if a == "--border" {
+            border = true;
+            false
+        } else if a == "--snap" {
+            snap = true;
+            false
+        } else {
+            true
+        }
     });
     if args.len() < 6 {
         eprintln!("usage: discover [--border] [--snap] <m> <k> <n> <rank> <restarts> [seed0]");
@@ -70,7 +76,8 @@ fn main() {
         let mut best: Option<fmm_tensor::Decomposition> = None;
         let mut best_res = f64::INFINITY;
         for attempt in 0..restarts {
-            let (cand, report) = fmm_search::als_from_random(m, k, n, rank, seed0 + attempt as u64, &opts);
+            let (cand, report) =
+                fmm_search::als_from_random(m, k, n, rank, seed0 + attempt as u64, &opts);
             if report.residual < best_res {
                 best_res = report.residual;
                 best = Some(cand);
@@ -108,7 +115,9 @@ fn main() {
         Some(r) => {
             println!(
                 "best float residual {:.3e} after {} restarts (not accepted) [{:.1?}]",
-                r.residual, r.restarts_used, t0.elapsed()
+                r.residual,
+                r.restarts_used,
+                t0.elapsed()
             );
         }
         None => println!("NOT FOUND in {restarts} restarts [{:.1?}]", t0.elapsed()),

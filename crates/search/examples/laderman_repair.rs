@@ -5,11 +5,15 @@ use fmm_matrix::Matrix;
 use fmm_search::{repair, AlsOptions};
 use fmm_tensor::Decomposition;
 
-/// Build U,V,W from product definitions: each product is a list of
-/// (A-entry, coef) and (B-entry, coef); each output C-entry lists
-/// (product index, coef). Entries are 1-indexed (i,j) pairs.
+/// One product definition: the (A-entry, coef) and (B-entry, coef)
+/// lists forming its two linear combinations. Entries are 1-indexed
+/// (i,j) pairs.
+type Product = (Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>);
+
+/// Build U,V,W from product definitions; each output C-entry lists
+/// (product index, coef).
 fn build(
-    products: &[(Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>)],
+    products: &[Product],
     outputs: &[Vec<(usize, f64)>],
     m: usize,
     k: usize,
@@ -50,21 +54,35 @@ fn print_matrix(name: &str, m: &Matrix) {
 
 fn main() {
     // Best-recall transcription of Laderman (1976), 23 products.
-    let products: Vec<(Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>)> = vec![
+    let products: Vec<Product> = vec![
         // m1 = (a11 + a12 + a13 - a21 - a22 - a32 - a33) b22
         (
             vec![
-                a(1, 1, 1.0), a(1, 2, 1.0), a(1, 3, 1.0),
-                a(2, 1, -1.0), a(2, 2, -1.0), a(3, 2, -1.0), a(3, 3, -1.0),
+                a(1, 1, 1.0),
+                a(1, 2, 1.0),
+                a(1, 3, 1.0),
+                a(2, 1, -1.0),
+                a(2, 2, -1.0),
+                a(3, 2, -1.0),
+                a(3, 3, -1.0),
             ],
             vec![a(2, 2, 1.0)],
         ),
         // m2 = (a11 - a21)(-b12 + b22)
-        (vec![a(1, 1, 1.0), a(2, 1, -1.0)], vec![a(1, 2, -1.0), a(2, 2, 1.0)]),
+        (
+            vec![a(1, 1, 1.0), a(2, 1, -1.0)],
+            vec![a(1, 2, -1.0), a(2, 2, 1.0)],
+        ),
         // m3 = a22 (-b11 + b21 + b22 - b23 - b31)   [uncertain]
         (
             vec![a(2, 2, 1.0)],
-            vec![a(1, 1, -1.0), a(2, 1, 1.0), a(2, 2, 1.0), a(2, 3, -1.0), a(3, 1, -1.0)],
+            vec![
+                a(1, 1, -1.0),
+                a(2, 1, 1.0),
+                a(2, 2, 1.0),
+                a(2, 3, -1.0),
+                a(3, 1, -1.0),
+            ],
         ),
         // m4 = (-a11 + a21 + a22)(b11 - b12 + b22)
         (
@@ -72,7 +90,10 @@ fn main() {
             vec![a(1, 1, 1.0), a(1, 2, -1.0), a(2, 2, 1.0)],
         ),
         // m5 = (a21 + a22)(-b11 + b12)
-        (vec![a(2, 1, 1.0), a(2, 2, 1.0)], vec![a(1, 1, -1.0), a(1, 2, 1.0)]),
+        (
+            vec![a(2, 1, 1.0), a(2, 2, 1.0)],
+            vec![a(1, 1, -1.0), a(1, 2, 1.0)],
+        ),
         // m6 = a11 b11
         (vec![a(1, 1, 1.0)], vec![a(1, 1, 1.0)]),
         // m7 = (-a11 + a31 + a32)(b11 - b13 + b23)
@@ -81,21 +102,38 @@ fn main() {
             vec![a(1, 1, 1.0), a(1, 3, -1.0), a(2, 3, 1.0)],
         ),
         // m8 = (-a11 + a31)(b13 - b23)
-        (vec![a(1, 1, -1.0), a(3, 1, 1.0)], vec![a(1, 3, 1.0), a(2, 3, -1.0)]),
+        (
+            vec![a(1, 1, -1.0), a(3, 1, 1.0)],
+            vec![a(1, 3, 1.0), a(2, 3, -1.0)],
+        ),
         // m9 = (a31 + a32)(-b11 + b13)
-        (vec![a(3, 1, 1.0), a(3, 2, 1.0)], vec![a(1, 1, -1.0), a(1, 3, 1.0)]),
+        (
+            vec![a(3, 1, 1.0), a(3, 2, 1.0)],
+            vec![a(1, 1, -1.0), a(1, 3, 1.0)],
+        ),
         // m10 = (a11 + a12 + a13 - a22 - a23 - a31 - a32) b23
         (
             vec![
-                a(1, 1, 1.0), a(1, 2, 1.0), a(1, 3, 1.0),
-                a(2, 2, -1.0), a(2, 3, -1.0), a(3, 1, -1.0), a(3, 2, -1.0),
+                a(1, 1, 1.0),
+                a(1, 2, 1.0),
+                a(1, 3, 1.0),
+                a(2, 2, -1.0),
+                a(2, 3, -1.0),
+                a(3, 1, -1.0),
+                a(3, 2, -1.0),
             ],
             vec![a(2, 3, 1.0)],
         ),
         // m11 = a32 (-b11 + b21 + b23 - b31 - b33)   [uncertain]
         (
             vec![a(3, 2, 1.0)],
-            vec![a(1, 1, -1.0), a(2, 1, 1.0), a(2, 3, 1.0), a(3, 1, -1.0), a(3, 3, -1.0)],
+            vec![
+                a(1, 1, -1.0),
+                a(2, 1, 1.0),
+                a(2, 3, 1.0),
+                a(3, 1, -1.0),
+                a(3, 3, -1.0),
+            ],
         ),
         // m12 = (-a13 + a32 + a33)(b22 + b31 - b32)
         (
@@ -103,20 +141,32 @@ fn main() {
             vec![a(2, 2, 1.0), a(3, 1, 1.0), a(3, 2, -1.0)],
         ),
         // m13 = (a13 - a33)(b22 - b32)
-        (vec![a(1, 3, 1.0), a(3, 3, -1.0)], vec![a(2, 2, 1.0), a(3, 2, -1.0)]),
+        (
+            vec![a(1, 3, 1.0), a(3, 3, -1.0)],
+            vec![a(2, 2, 1.0), a(3, 2, -1.0)],
+        ),
         // m14 = a13 b31
         (vec![a(1, 3, 1.0)], vec![a(3, 1, 1.0)]),
         // m15 = (a32 + a33)(-b31 + b32)
-        (vec![a(3, 2, 1.0), a(3, 3, 1.0)], vec![a(3, 1, -1.0), a(3, 2, 1.0)]),
+        (
+            vec![a(3, 2, 1.0), a(3, 3, 1.0)],
+            vec![a(3, 1, -1.0), a(3, 2, 1.0)],
+        ),
         // m16 = (-a13 + a22 + a23)(b23 + b31 - b33)
         (
             vec![a(1, 3, -1.0), a(2, 2, 1.0), a(2, 3, 1.0)],
             vec![a(2, 3, 1.0), a(3, 1, 1.0), a(3, 3, -1.0)],
         ),
         // m17 = (a13 - a23)(b23 - b33)
-        (vec![a(1, 3, 1.0), a(2, 3, -1.0)], vec![a(2, 3, 1.0), a(3, 3, -1.0)]),
+        (
+            vec![a(1, 3, 1.0), a(2, 3, -1.0)],
+            vec![a(2, 3, 1.0), a(3, 3, -1.0)],
+        ),
         // m18 = (a22 + a23)(-b31 + b33)
-        (vec![a(2, 2, 1.0), a(2, 3, 1.0)], vec![a(3, 1, -1.0), a(3, 3, 1.0)]),
+        (
+            vec![a(2, 2, 1.0), a(2, 3, 1.0)],
+            vec![a(3, 1, -1.0), a(3, 3, 1.0)],
+        ),
         // m19 = a12 b21
         (vec![a(1, 2, 1.0)], vec![a(2, 1, 1.0)]),
         // m20 = a23 b32
@@ -131,15 +181,57 @@ fn main() {
 
     // C outputs in row-major order: c11 c12 c13 c21 c22 c23 c31 c32 c33
     let outputs: Vec<Vec<(usize, f64)>> = vec![
-        vec![(6, 1.0), (14, 1.0), (19, 1.0)],                                                  // c11
-        vec![(1, 1.0), (4, 1.0), (5, 1.0), (6, 1.0), (12, 1.0), (14, 1.0), (15, 1.0)],         // c12
-        vec![(6, 1.0), (7, 1.0), (9, 1.0), (10, 1.0), (12, 1.0), (14, 1.0), (16, 1.0), (18, 1.0)], // c13
-        vec![(2, 1.0), (3, 1.0), (4, 1.0), (6, 1.0), (14, 1.0), (16, 1.0), (17, 1.0)],         // c21
-        vec![(2, 1.0), (4, 1.0), (5, 1.0), (6, 1.0), (14, 1.0), (16, 1.0), (17, 1.0), (18, 1.0)], // c22
-        vec![(14, 1.0), (16, 1.0), (17, 1.0), (18, 1.0), (21, 1.0)],                           // c23
-        vec![(6, 1.0), (7, 1.0), (8, 1.0), (11, 1.0), (12, 1.0), (13, 1.0), (14, 1.0)],        // c31
-        vec![(12, 1.0), (13, 1.0), (14, 1.0), (15, 1.0), (22, 1.0)],                           // c32
-        vec![(6, 1.0), (7, 1.0), (8, 1.0), (9, 1.0), (14, 1.0), (23, 1.0)],                    // c33
+        vec![(6, 1.0), (14, 1.0), (19, 1.0)], // c11
+        vec![
+            (1, 1.0),
+            (4, 1.0),
+            (5, 1.0),
+            (6, 1.0),
+            (12, 1.0),
+            (14, 1.0),
+            (15, 1.0),
+        ], // c12
+        vec![
+            (6, 1.0),
+            (7, 1.0),
+            (9, 1.0),
+            (10, 1.0),
+            (12, 1.0),
+            (14, 1.0),
+            (16, 1.0),
+            (18, 1.0),
+        ], // c13
+        vec![
+            (2, 1.0),
+            (3, 1.0),
+            (4, 1.0),
+            (6, 1.0),
+            (14, 1.0),
+            (16, 1.0),
+            (17, 1.0),
+        ], // c21
+        vec![
+            (2, 1.0),
+            (4, 1.0),
+            (5, 1.0),
+            (6, 1.0),
+            (14, 1.0),
+            (16, 1.0),
+            (17, 1.0),
+            (18, 1.0),
+        ], // c22
+        vec![(14, 1.0), (16, 1.0), (17, 1.0), (18, 1.0), (21, 1.0)], // c23
+        vec![
+            (6, 1.0),
+            (7, 1.0),
+            (8, 1.0),
+            (11, 1.0),
+            (12, 1.0),
+            (13, 1.0),
+            (14, 1.0),
+        ], // c31
+        vec![(12, 1.0), (13, 1.0), (14, 1.0), (15, 1.0), (22, 1.0)], // c32
+        vec![(6, 1.0), (7, 1.0), (8, 1.0), (9, 1.0), (14, 1.0), (23, 1.0)], // c33
     ];
 
     let cand = build(&products, &outputs, 3, 3, 3);
@@ -156,8 +248,14 @@ fn main() {
                         // decode: i = A(r,c) index, j = B, k = C
                         println!(
                             "violation A({},{}) B({},{}) C({},{}): got {} want {}",
-                            i / 3 + 1, i % 3 + 1, j / 3 + 1, j % 3 + 1, k / 3 + 1, k % 3 + 1,
-                            recon.get(i, j, k), exact.get(i, j, k)
+                            i / 3 + 1,
+                            i % 3 + 1,
+                            j / 3 + 1,
+                            j % 3 + 1,
+                            k / 3 + 1,
+                            k % 3 + 1,
+                            recon.get(i, j, k),
+                            exact.get(i, j, k)
                         );
                     }
                 }
@@ -178,11 +276,17 @@ fn main() {
         let mut w = cand.w.clone();
         for _ in 0..200 {
             if let Some(vt) = fmm_tensor::linalg::ridge_solve(
-                &fmm_tensor::linalg::khatri_rao(&u, &w), &x2t, 1e-12) {
+                &fmm_tensor::linalg::khatri_rao(&u, &w),
+                &x2t,
+                1e-12,
+            ) {
                 v = vt.transpose();
             }
             if let Some(wt) = fmm_tensor::linalg::ridge_solve(
-                &fmm_tensor::linalg::khatri_rao(&u, &v), &x3t, 1e-12) {
+                &fmm_tensor::linalg::khatri_rao(&u, &v),
+                &x3t,
+                1e-12,
+            ) {
                 w = wt.transpose();
             }
         }
@@ -208,25 +312,51 @@ fn main() {
         let x1t = t.unfold1().transpose();
         let x2t = t.unfold2().transpose();
         let x3t = t.unfold3().transpose();
-        let complete_from_u = |u: &fmm_matrix::Matrix, v0: &fmm_matrix::Matrix, w0: &fmm_matrix::Matrix, sweeps: usize| {
+        let complete_from_u = |u: &fmm_matrix::Matrix,
+                               v0: &fmm_matrix::Matrix,
+                               w0: &fmm_matrix::Matrix,
+                               sweeps: usize| {
             let mut v = v0.clone();
             let mut w = w0.clone();
             for _ in 0..sweeps {
                 if let Some(vt) = fmm_tensor::linalg::ridge_solve(
-                    &fmm_tensor::linalg::khatri_rao(u, &w), &x2t, 1e-12) { v = vt.transpose(); }
+                    &fmm_tensor::linalg::khatri_rao(u, &w),
+                    &x2t,
+                    1e-12,
+                ) {
+                    v = vt.transpose();
+                }
                 if let Some(wt) = fmm_tensor::linalg::ridge_solve(
-                    &fmm_tensor::linalg::khatri_rao(u, &v), &x3t, 1e-12) { w = wt.transpose(); }
+                    &fmm_tensor::linalg::khatri_rao(u, &v),
+                    &x3t,
+                    1e-12,
+                ) {
+                    w = wt.transpose();
+                }
             }
             (fmm_search::frob_residual(&t, u, &v, &w), v, w)
         };
-        let complete_from_v = |v: &fmm_matrix::Matrix, u0: &fmm_matrix::Matrix, w0: &fmm_matrix::Matrix, sweeps: usize| {
+        let complete_from_v = |v: &fmm_matrix::Matrix,
+                               u0: &fmm_matrix::Matrix,
+                               w0: &fmm_matrix::Matrix,
+                               sweeps: usize| {
             let mut u = u0.clone();
             let mut w = w0.clone();
             for _ in 0..sweeps {
                 if let Some(ut) = fmm_tensor::linalg::ridge_solve(
-                    &fmm_tensor::linalg::khatri_rao(v, &w), &x1t, 1e-12) { u = ut.transpose(); }
+                    &fmm_tensor::linalg::khatri_rao(v, &w),
+                    &x1t,
+                    1e-12,
+                ) {
+                    u = ut.transpose();
+                }
                 if let Some(wt) = fmm_tensor::linalg::ridge_solve(
-                    &fmm_tensor::linalg::khatri_rao(&u, v), &x3t, 1e-12) { w = wt.transpose(); }
+                    &fmm_tensor::linalg::khatri_rao(&u, v),
+                    &x3t,
+                    1e-12,
+                ) {
+                    w = wt.transpose();
+                }
             }
             (fmm_search::frob_residual(&t, &u, v, &w), u, w)
         };
@@ -238,17 +368,21 @@ fn main() {
                     u[(row, col)] += delta;
                     let (res, v, w) = complete_from_u(&u, &cand.v, &cand.w, 40);
                     if res < 1e-6 {
-                        let d = fmm_tensor::Decomposition::new(3,3,3,u,v,w);
+                        let d = fmm_tensor::Decomposition::new(3, 3, 3, u, v, w);
                         let tag = format!("U[{row},{col}] += {delta}");
-                        if best.as_ref().map_or(true, |(b,_,_)| res < *b) { best = Some((res, d, tag)); }
+                        if best.as_ref().is_none_or(|(b, _, _)| res < *b) {
+                            best = Some((res, d, tag));
+                        }
                     }
                     let mut v2 = cand.v.clone();
                     v2[(row, col)] += delta;
                     let (res2, u2, w2) = complete_from_v(&v2, &cand.u, &cand.w, 40);
                     if res2 < 1e-6 {
-                        let d = fmm_tensor::Decomposition::new(3,3,3,u2,v2,w2);
+                        let d = fmm_tensor::Decomposition::new(3, 3, 3, u2, v2, w2);
                         let tag = format!("V[{row},{col}] += {delta}");
-                        if best.as_ref().map_or(true, |(b,_,_)| res2 < *b) { best = Some((res2, d, tag)); }
+                        if best.as_ref().is_none_or(|(b, _, _)| res2 < *b) {
+                            best = Some((res2, d, tag));
+                        }
                     }
                 }
             }

@@ -103,7 +103,11 @@ pub fn als_fit(
         let mut t = mat.clone();
         for x in t.as_mut_slice() {
             let doubled = (*x * 2.0).round() / 2.0;
-            *x = if doubled.abs() <= 2.0 { doubled } else { x.round() };
+            *x = if doubled.abs() <= 2.0 {
+                doubled
+            } else {
+                x.round()
+            };
         }
         t
     };
@@ -217,8 +221,7 @@ pub fn als_from_random(
             random_init(m * n, rank, &mut rng),
         )
     } else {
-        let mut cont =
-            |rows: usize| Matrix::from_fn(rows, rank, |_, _| rng.gen_range(-1.0..1.0));
+        let mut cont = |rows: usize| Matrix::from_fn(rows, rank, |_, _| rng.gen_range(-1.0..1.0));
         (cont(m * k), cont(k * n), cont(m * n))
     };
     // Guard against an all-zero column which makes the LS problem singular.

@@ -224,7 +224,6 @@ mod tests {
 
     #[test]
     fn invert_round_trip() {
-        let mut rng = StdRng::seed_from_u64(3);
         let a = Matrix::from_fn(5, 5, |i, j| {
             if i == j {
                 3.0
@@ -237,7 +236,6 @@ mod tests {
         let id = Matrix::identity(5);
         let d = fmm_matrix::max_abs_diff(&prod.as_ref(), &id.as_ref()).unwrap();
         assert!(d < 1e-10, "residual {d}");
-        let _ = rng; // silence if unused in future edits
     }
 
     #[test]

@@ -250,6 +250,8 @@ mod tests {
     }
 
     #[test]
+    // spelled-out strides document the unfolding layout
+    #[allow(clippy::identity_op, clippy::erasing_op)]
     fn unfoldings_preserve_entries() {
         let mut t = Tensor3::zeros(2, 3, 4);
         t.set(1, 2, 3, 5.0);

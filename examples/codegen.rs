@@ -15,10 +15,7 @@ fn main() {
         eprintln!("unknown algorithm {name:?}; try \"strassen\" or \"<2,2,3>\"");
         std::process::exit(2);
     });
-    let fn_name = format!(
-        "fast_{}x{}x{}",
-        alg.dec.m, alg.dec.k, alg.dec.n
-    );
+    let fn_name = format!("fast_{}x{}x{}", alg.dec.m, alg.dec.k, alg.dec.n);
     eprintln!(
         "// {} — rank {}, {} additions, provenance {:?}\n",
         alg.name,

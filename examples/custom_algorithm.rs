@@ -49,7 +49,10 @@ fn main() {
 
     // 2. Derive new algorithms from it (§2.3 constructions).
     let a223 = direct_sum_n(&mine, &fast_matmul::tensor::compose::classical(2, 2, 1));
-    println!("⟨2,2,3⟩ by direct sum: rank {} (Hopcroft–Kerr optimal is 11)", a223.rank());
+    println!(
+        "⟨2,2,3⟩ by direct sum: rank {} (Hopcroft–Kerr optimal is 11)",
+        a223.rank()
+    );
     let a224 = kron_compose(&mine, &fast_matmul::tensor::compose::classical(1, 1, 2));
     println!("⟨2,2,4⟩ by composition: rank {}", a224.rank());
     let a322 = permute_to(&a223, (3, 2, 2)).expect("permutation");
@@ -63,7 +66,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let a = Matrix::random(p, q, &mut rng);
     let b = Matrix::random(q, r, &mut rng);
-    let fm = FastMul::new(&a223, Options { steps: 2, ..Options::default() });
+    let fm = FastMul::new(
+        &a223,
+        Options {
+            steps: 2,
+            ..Options::default()
+        },
+    );
     let c = fm.multiply(&a, &b);
     let c_ref = gemm::matmul(&a, &b);
     let err = relative_error(&c.as_ref(), &c_ref.as_ref());

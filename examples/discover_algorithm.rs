@@ -34,6 +34,8 @@ fn main() {
                 res.decomposition.speedup_per_step() * 100.0
             );
         }
-        None => println!("  no luck within 60 restarts — try more (the paper used many starting points)"),
+        None => println!(
+            "  no luck within 60 restarts — try more (the paper used many starting points)"
+        ),
     }
 }

@@ -38,7 +38,13 @@ fn main() {
     // Gram matrix G = Xᵀ·X: a d × n × d outer-product-shaped multiply.
     let xt = x.transpose();
     let gram_alg = algo::by_name("<4,2,4>").expect("catalog");
-    let fm = FastMul::new(&gram_alg.dec, Options { steps: 2, ..Options::default() });
+    let fm = FastMul::new(
+        &gram_alg.dec,
+        Options {
+            steps: 2,
+            ..Options::default()
+        },
+    );
 
     let t0 = Instant::now();
     let g_fast = fm.multiply(&xt, &x);

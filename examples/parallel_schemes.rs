@@ -26,9 +26,7 @@ fn main() {
         .unwrap();
 
     println!("Strassen, {n}×{n}×{n}, {threads} threads, 2 recursive steps\n");
-    println!(
-        "with 2 steps of ⟨2,2,2⟩ there are 7² = 49 leaf multiplies; HYBRID runs"
-    );
+    println!("with 2 steps of ⟨2,2,2⟩ there are 7² = 49 leaf multiplies; HYBRID runs");
     println!(
         "49 − (49 mod {threads}) = {} as BFS tasks and the rest with all threads\n",
         49 - 49 % threads

@@ -25,8 +25,17 @@ fn main() {
 
     // Strassen's algorithm from the catalog, two recursive steps.
     let strassen = algo::by_name("strassen").expect("catalog");
-    strassen.dec.verify(0.0).expect("Strassen satisfies the Brent equations");
-    let fast = FastMul::new(&strassen.dec, Options { steps: 2, ..Options::default() });
+    strassen
+        .dec
+        .verify(0.0)
+        .expect("Strassen satisfies the Brent equations");
+    let fast = FastMul::new(
+        &strassen.dec,
+        Options {
+            steps: 2,
+            ..Options::default()
+        },
+    );
     let t0 = Instant::now();
     let c_fast = fast.multiply(&a, &b);
     let fast_secs = t0.elapsed().as_secs_f64();

@@ -42,10 +42,19 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut best_steps = 1;
         for steps in [1usize, 2] {
-            let fm = FastMul::new(&alg.dec, Options { steps, ..Options::default() });
+            let fm = FastMul::new(
+                &alg.dec,
+                Options {
+                    steps,
+                    ..Options::default()
+                },
+            );
             let (c, secs) = time_it(|| fm.multiply(&a, &b));
             let err = fast_matmul::matrix::relative_error(&c.as_ref(), &c_ref.as_ref());
-            assert!(err < 1e-10, "{name} must be numerically correct (err {err:.1e})");
+            assert!(
+                err < 1e-10,
+                "{name} must be numerically correct (err {err:.1e})"
+            );
             if secs < best {
                 best = secs;
                 best_steps = steps;

@@ -84,12 +84,19 @@ fn composed_exponent_tracks_336_rank() {
 
 #[test]
 fn apa_entries_if_present_have_small_residual_and_run() {
-    for apa in [algo::bini_apa(), algo::schonhage_apa()].into_iter().flatten() {
+    for apa in [algo::bini_apa(), algo::schonhage_apa()]
+        .into_iter()
+        .flatten()
+    {
         let residual = match apa.provenance {
             algo::Provenance::Apa(r) => r,
             ref other => panic!("APA entry has provenance {other:?}"),
         };
-        assert!(residual < 0.3, "{}: residual {residual} too large", apa.name);
+        assert!(
+            residual < 0.3,
+            "{}: residual {residual} too large",
+            apa.name
+        );
         // APA algorithms multiply with bounded (not machine-precision)
         // error: check the error is comparable to the residual scale.
         let (m, k, n) = apa.dec.base();

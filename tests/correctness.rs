@@ -15,7 +15,14 @@ fn reference(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-fn check(dec: &fast_matmul::tensor::Decomposition, p: usize, q: usize, r: usize, opts: Options, seed: u64) {
+fn check(
+    dec: &fast_matmul::tensor::Decomposition,
+    p: usize,
+    q: usize,
+    r: usize,
+    opts: Options,
+    seed: u64,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = Matrix::random(p, q, &mut rng);
     let b = Matrix::random(q, r, &mut rng);

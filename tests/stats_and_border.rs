@@ -17,7 +17,13 @@ fn leaf_count_is_rank_to_the_steps_on_divisible_problems() {
         let a = Matrix::random(n, n, &mut rng);
         let b = Matrix::random(n, n, &mut rng);
         let mut c = Matrix::zeros(n, n);
-        let fm = FastMul::new(&strassen, Options { steps, ..Options::default() });
+        let fm = FastMul::new(
+            &strassen,
+            Options {
+                steps,
+                ..Options::default()
+            },
+        );
         let stats = fm.multiply_into_with_stats(a.as_ref(), b.as_ref(), c.as_mut());
         assert_eq!(stats.base_gemms, 7u64.pow(steps as u32));
         assert_eq!(stats.peel_gemms, 0, "divisible sizes never peel");
@@ -27,7 +33,13 @@ fn leaf_count_is_rank_to_the_steps_on_divisible_problems() {
 #[test]
 fn peel_gemms_appear_on_ragged_sizes() {
     let strassen = algo::strassen();
-    let fm = FastMul::new(&strassen, Options { steps: 1, ..Options::default() });
+    let fm = FastMul::new(
+        &strassen,
+        Options {
+            steps: 1,
+            ..Options::default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(2);
     let a = Matrix::random(65, 65, &mut rng);
     let b = Matrix::random(65, 65, &mut rng);
@@ -51,7 +63,13 @@ fn memory_footprint_matches_section_4_2_factor() {
     let a = Matrix::random(p, q, &mut rng);
     let b = Matrix::random(q, s, &mut rng);
     let mut c = Matrix::zeros(p, s);
-    let fm = FastMul::new(&a424, Options { steps: 1, ..Options::default() });
+    let fm = FastMul::new(
+        &a424,
+        Options {
+            steps: 1,
+            ..Options::default()
+        },
+    );
     let stats = fm.multiply_into_with_stats(a.as_ref(), b.as_ref(), c.as_mut());
     let m_r_elems = rank * (p as u64 / m as u64) * (s as u64 / n as u64);
     assert!(

@@ -1,0 +1,150 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The build container has no crates.io access; this keeps the three
+//! `crates/bench` benchmark targets compiling and gives `cargo bench` a
+//! useful median/min report, without criterion's statistics, warm-up
+//! calibration, or HTML output.
+
+use std::time::Instant;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            _crit: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 20, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _crit: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure one closure under this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// End the group (reports are printed eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { times: Vec::new() };
+    // One untimed warm-up sample, then the measured ones.
+    f(&mut b);
+    b.times.clear();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.times.sort_by(|a, b| a.total_cmp(b));
+    if b.times.is_empty() {
+        eprintln!("{name:<32} (no samples)");
+        return;
+    }
+    let median = b.times[b.times.len() / 2];
+    eprintln!(
+        "{name:<32} median {:>12} min {:>12}  ({} samples)",
+        fmt_secs(median),
+        fmt_secs(b.times[0]),
+        b.times.len()
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// Per-iteration timer handle.
+pub struct Bencher {
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time one sample of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.times.push(start.elapsed().as_secs_f64());
+    }
+}
+
+/// Group benchmark targets into a runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut crit = $crate::Criterion::default();
+            $($target(&mut crit);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        benches();
+    }
+}

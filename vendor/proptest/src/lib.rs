@@ -1,0 +1,248 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses:
+//! the `proptest!` test macro with `#![proptest_config]`, range
+//! strategies (`lo..hi` on integers and floats), and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Cases are drawn from a deterministic per-test generator (seeded from
+//! the test name), so failures reproduce across runs. There is no
+//! shrinking: a failing case reports its number and message and panics
+//! immediately.
+
+use std::ops::Range;
+
+pub mod prelude;
+
+/// Runner configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test body is run with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A rejected test case: message carried back to the runner.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic case generator (SplitMix64).
+#[derive(Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test-identifying value.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Stable 64-bit hash of a test name, for per-test seeds.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Sources of test-case values (`lo..hi` ranges here).
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draw one case.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Define property tests: a block of `fn name(arg in strategy, ...)`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::new($crate::TestRng::seed_of(stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            n in 3usize..40,
+            x in -2.0f64..2.0,
+            b in 0u8..3,
+        ) {
+            prop_assert!((3..40).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x), "x out of range: {x}");
+            prop_assert!(b < 3);
+            prop_assert_eq!(n + 1, 1 + n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0u64..10) {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(v in 0u64..10) {
+                    prop_assert!(v > 100, "v was {v}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails failed on case 1/32"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::new(TestRng::seed_of("t"));
+        let mut b = TestRng::new(TestRng::seed_of("t"));
+        for _ in 0..10 {
+            assert_eq!((0usize..100).pick(&mut a), (0usize..100).pick(&mut b));
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! One-stop imports for property tests, mirroring
+//! `proptest::prelude::*`.
+
+pub use crate::{prop_assert, prop_assert_eq, proptest};
+pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};

@@ -1,0 +1,188 @@
+//! Offline stand-in for the parts of `serde` this workspace uses.
+//!
+//! The build container has no crates.io access, so this vendors a
+//! value-tree serialization core: types implement [`Serialize`] /
+//! [`Deserialize`] by converting to and from a self-describing
+//! [`Value`], and `serde_json` renders/parses that tree. The
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` attributes are
+//! provided by the companion `serde_mini_derive` proc-macro crate and
+//! support plain structs with named fields — exactly what the bench
+//! harness rows need.
+
+pub use serde_mini_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree, the interchange point between typed
+/// values and concrete formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number (integers round-trip losslessly up to 2⁵³).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key → value map, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up an object key (linear scan; rows are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `value`, reporting a human-readable error on shape
+    /// mismatch.
+    fn deserialize_value(value: &Value) -> Result<Self, String>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, String> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(format!(
+                        "expected number for {}, got {other:?}",
+                        stringify!($t)
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_num!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::deserialize_value(&7usize.serialize_value()), Ok(7));
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<f64>::deserialize_value(&vec![1.5, -2.0].serialize_value()),
+            Ok(vec![1.5, -2.0])
+        );
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(bool::deserialize_value(&Value::Num(1.0)).is_err());
+        assert!(Vec::<f64>::deserialize_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn object_get() {
+        let v = Value::Object(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Num(1.0)));
+        assert_eq!(v.get("b"), None);
+    }
+}

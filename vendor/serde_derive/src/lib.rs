@@ -1,0 +1,172 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` stand-in.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote` — the build
+//! container is offline), so it supports exactly the shape the
+//! workspace uses: non-generic structs with named fields. Anything
+//! else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Find `struct <Name>`, skipping visibility and attributes.
+    let name = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.get(i + 1) {
+                Some(TokenTree::Ident(name)) => {
+                    i += 2;
+                    break name.to_string();
+                }
+                _ => return Err("expected a name after `struct`".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("enums are not supported; derive on a named-field struct".into());
+            }
+            Some(_) => i += 1,
+            None => return Err("no `struct` found in derive input".into()),
+        }
+    };
+
+    // Find the `{ ... }` body; a `<` first would mean generics.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic structs are not supported".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("unit/tuple structs are not supported".into());
+            }
+            Some(_) => i += 1,
+            None => return Err("struct has no `{ ... }` body".into()),
+        }
+    };
+
+    // Walk the fields: `[attrs] [pub[(..)]] name : Type ,`
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        // Skip attributes (including doc comments).
+        while matches!(&body[j], TokenTree::Punct(p) if p.as_char() == '#') {
+            j += 1; // '#'
+            if matches!(body.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                j += 1;
+            } else {
+                return Err("malformed attribute in struct body".into());
+            }
+        }
+        // Skip visibility.
+        if matches!(&body[j], TokenTree::Ident(id) if id.to_string() == "pub") {
+            j += 1;
+            if matches!(body.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                j += 1;
+            }
+        }
+        // Field name and ':'.
+        let field = match body.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        j += 1;
+        match body.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, got {other:?} (tuple structs unsupported)"
+                ));
+            }
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma, counting angle
+        // brackets so `Vec<(A, B)>`-style generics don't split early.
+        let mut angle_depth = 0i32;
+        while j < body.len() {
+            match &body[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if fields.is_empty() {
+        return Err("struct has no fields".into());
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return error(&format!("#[derive(Serialize)]: {e}")),
+    };
+    let mut pairs = String::new();
+    for f in &shape.fields {
+        pairs.push_str(&format!(
+            "(::std::string::String::from({f:?}), \
+             ::serde::Serialize::serialize_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{pairs}])\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return error(&format!("#[derive(Deserialize)]: {e}")),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize_value(\
+                 value.get({f:?}).ok_or_else(|| \
+                     ::std::string::String::from(concat!(\"missing field `\", {f:?}, \"`\")))?\
+             )?,"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .unwrap()
+}
