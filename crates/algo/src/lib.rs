@@ -269,6 +269,34 @@ pub fn by_name(name: &str) -> Option<FastAlgorithm> {
     }
 }
 
+/// Shape-indexed catalog lookup: every exact catalog algorithm, ranked
+/// for a `p × q × r` problem — best candidate first.
+///
+/// The paper's shape lesson (§5.3, Fig. 5/6) is that the base case
+/// should mirror the problem's aspect ratio (an outer-product-shaped
+/// problem wants ⟨4,2,4⟩, not Strassen), so the ranking combines the
+/// log-space distance between the base-case and problem aspect ratios
+/// with the per-step multiplication speedup. Feed the result (mapped to
+/// decompositions) to `fmm_core::Planner::auto_algorithm`, which then
+/// applies the §3.4 depth rule per candidate.
+pub fn candidates_for_shape(p: usize, q: usize, r: usize) -> Vec<FastAlgorithm> {
+    let aspect = |x: usize, y: usize| (x.max(1) as f64 / y.max(1) as f64).ln();
+    let mut entries = catalog();
+    let score = |a: &FastAlgorithm| {
+        let (m, k, n) = a.dec.base();
+        let mismatch = (aspect(p, q) - aspect(m, k)).abs() + (aspect(q, r) - aspect(k, n)).abs();
+        // Lower is better: each unit of log-aspect mismatch outweighs
+        // the typical 10–30% per-step speedup spread.
+        mismatch - a.dec.speedup_per_step()
+    };
+    entries.sort_by(|x, y| {
+        score(x)
+            .partial_cmp(&score(y))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    entries
+}
+
 /// All canonical Table-2 algorithms (exact entries only).
 pub fn catalog() -> Vec<FastAlgorithm> {
     let mut out = vec![by_name("strassen").unwrap(), by_name("winograd").unwrap()];
@@ -415,6 +443,25 @@ mod tests {
         for d in &sched {
             d.verify(EXACT_TOL).unwrap();
         }
+    }
+
+    #[test]
+    fn candidates_for_shape_rank_by_fit() {
+        // Square problems: a square base case with the best speedup
+        // should lead, and every catalog entry must be present.
+        let square = candidates_for_shape(1024, 1024, 1024);
+        assert_eq!(square.len(), catalog().len());
+        let (m, k, n) = square[0].dec.base();
+        assert_eq!((m, k), (k, n), "square problem wants a square base");
+
+        // Outer-product shape (large p, r; small q): the leader should
+        // have its small dimension in the middle, like ⟨4,2,4⟩.
+        let outer = candidates_for_shape(2000, 100, 2000);
+        let (m, k, n) = outer[0].dec.base();
+        assert!(
+            k <= m && k <= n,
+            "outer-product shape wants <{m},{k},{n}> with small k"
+        );
     }
 
     #[test]

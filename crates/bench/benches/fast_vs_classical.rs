@@ -2,7 +2,7 @@
 //! classical baseline at a fixed, CI-friendly size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fmm_core::{FastMul, Options};
+use fmm_core::{Planner, Workspace};
 use fmm_gemm::gemm;
 use fmm_matrix::Matrix;
 use rand::rngs::StdRng;
@@ -34,16 +34,18 @@ fn bench_fast(c: &mut Criterion) {
             1,
         ),
     ] {
-        let fm = FastMul::new(
-            &alg,
-            Options {
-                steps,
-                ..Default::default()
-            },
-        );
+        // Plan once outside the measured loop; the loop is the
+        // allocation-free execute path on a reused workspace.
+        let plan = Planner::new()
+            .shape(n, n, n)
+            .algorithm(&alg)
+            .steps(steps)
+            .plan()
+            .expect("complete configuration");
+        let mut ws = Workspace::for_plan(&plan);
         group.bench_function(name, |bench| {
             bench.iter(|| {
-                fm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+                plan.execute(&a, &b, &mut out, &mut ws);
                 black_box(&out);
             })
         });

@@ -4,7 +4,6 @@
 //! against Strassen and the classical baseline.
 
 use fmm_bench::*;
-use fmm_core::{FastMul, Options};
 use fmm_matrix::Matrix;
 
 fn main() {
@@ -32,14 +31,17 @@ fn main() {
             Default::default(),
             cfg.trials,
         ));
-        // One pass of the full three-level schedule.
-        let fm = FastMul::with_schedule(&sched_refs, Options::default());
+        // One pass of the full three-level schedule, planned once and
+        // executed allocation-free in a reused workspace.
+        let plan = fmm_core::Planner::new()
+            .shape(n, n, n)
+            .schedule(&sched_refs)
+            .plan()
+            .expect("complete configuration");
+        let mut ws = fmm_core::Workspace::for_plan(&plan);
         let (a, b) = workload(n, n, n, 42);
         let mut c = Matrix::zeros(n, n);
-        let secs = time_median(
-            || fm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
-            cfg.trials,
-        );
+        let secs = time_median(|| plan.execute(&a, &b, &mut c, &mut ws), cfg.trials);
         rows.push(Measurement {
             experiment: "composed54".into(),
             algorithm: "<54,54,54> (336∘363∘633)".into(),

@@ -4,13 +4,13 @@
 //! node's 64 GB; this harness shows the growth law.)
 
 use fmm_bench::*;
-use fmm_core::{FastMul, Options};
+use fmm_core::{Planner, Workspace};
 use fmm_matrix::Matrix;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
     let n = if cfg.quick { 512 } else { 2048 };
-    println!("algorithm,steps,temp_MB,model_MB,c_MB");
+    println!("algorithm,steps,temp_MB,workspace_MB,model_MB,c_MB");
     for name in ["strassen", "<4,2,4>", "<4,3,3>", "<3,3,3>"] {
         let alg = fmm_algo::by_name(name).unwrap();
         let (m, _, nn) = alg.dec.base();
@@ -18,21 +18,22 @@ fn main() {
         let (a, b) = workload(n, n, n, 1);
         let mut c = Matrix::zeros(n, n);
         for steps in 1..=2usize {
-            let fm = FastMul::new(
-                &alg.dec,
-                Options {
-                    steps,
-                    ..Default::default()
-                },
-            );
-            let stats = fm.multiply_into_with_stats(a.as_ref(), b.as_ref(), c.as_mut());
+            let plan = Planner::new()
+                .shape(n, n, n)
+                .algorithm(&alg.dec)
+                .steps(steps)
+                .plan()
+                .expect("complete configuration");
+            let mut ws = Workspace::for_plan(&plan);
+            let stats = plan.execute_with_stats(&a, &b, &mut c, &mut ws);
             let temp_mb = stats.temp_elements as f64 * 8.0 / 1e6;
+            let ws_mb = stats.workspace_bytes as f64 / 1e6;
             // Geometric model: Σ_l (R/(M·N))^l · |C| for the M_r alone.
             let ratio = rank / (m as f64 * nn as f64);
             let model: f64 =
                 (1..=steps).map(|l| ratio.powi(l as i32)).sum::<f64>() * (n * n) as f64 * 8.0 / 1e6;
             println!(
-                "{name},{steps},{temp_mb:.1},{model:.1},{:.1}",
+                "{name},{steps},{temp_mb:.1},{ws_mb:.1},{model:.1},{:.1}",
                 (n * n) as f64 * 8.0 / 1e6
             );
         }

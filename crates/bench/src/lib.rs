@@ -7,7 +7,7 @@
 //! one, two, or three steps of recursion"), and CSV/JSON emission so
 //! EXPERIMENTS.md can quote results directly.
 
-use fmm_core::{AdditionMethod, FastMul, Options, Scheme};
+use fmm_core::{AdditionMethod, Options, Planner, Scheme, Workspace};
 use fmm_matrix::Matrix;
 use fmm_tensor::Decomposition;
 use rand::rngs::StdRng;
@@ -188,6 +188,11 @@ pub fn measure_classical(
 
 /// Time a fast algorithm with the given options, taking the best over
 /// `steps_candidates` recursion depths (paper §5 protocol).
+///
+/// Planning (and the workspace allocation it sizes) happens once per
+/// depth candidate, outside the timed region — the timed loop is the
+/// allocation-free [`fmm_core::Plan::execute`] hot path, which is what
+/// a production caller would run.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_fast(
     experiment: &str,
@@ -206,14 +211,15 @@ pub fn measure_fast(
     let tp = pool(threads);
     let mut best = (f64::INFINITY, 0usize);
     for &steps in steps_candidates {
-        let opts = Options { steps, ..base_opts };
-        let fm = FastMul::new(dec, opts);
-        let secs = tp.install(|| {
-            time_median(
-                || fm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
-                trials,
-            )
-        });
+        let plan = Planner::new()
+            .shape(p, q, r)
+            .algorithm(dec)
+            .steps(steps)
+            .options(base_opts)
+            .plan()
+            .expect("harness planner configuration is complete");
+        let mut ws = Workspace::for_plan(&plan);
+        let secs = tp.install(|| time_median(|| plan.execute(&a, &b, &mut c, &mut ws), trials));
         if secs < best.0 {
             best = (secs, steps);
         }

@@ -20,21 +20,36 @@ pub struct GemmProfile {
 }
 
 impl GemmProfile {
+    /// Measure the sequential gemm at the given square sizes with one
+    /// untimed warmup per size and best-of-3 timing (see
+    /// [`GemmProfile::measure_with_reps`]).
+    pub fn measure(sizes: &[usize]) -> Self {
+        Self::measure_with_reps(sizes, 3)
+    }
+
     /// Measure the sequential gemm at the given square sizes.
     ///
-    /// Each sample multiplies freshly-allocated random-free matrices
-    /// (contents irrelevant for timing) once; callers wanting tighter
-    /// estimates can pass repeated sizes and the profile keeps the max.
-    pub fn measure(sizes: &[usize]) -> Self {
+    /// For each size, one untimed warmup multiplication absorbs
+    /// page-fault and cache-warmup noise, then the best (highest
+    /// GFLOPS) of `reps` timed runs is kept — a cold single-shot
+    /// measurement would systematically understate the flat part of
+    /// the curve and bias the §3.4 cutoff rule against recursion.
+    /// Repeated sizes keep the overall max.
+    pub fn measure_with_reps(sizes: &[usize], reps: usize) -> Self {
         let mut samples: Vec<(usize, f64)> = Vec::new();
         for &n in sizes {
             let a = Matrix::filled(n, n, 1.0);
             let b = Matrix::filled(n, n, 0.5);
             let mut c = Matrix::zeros(n, n);
-            let t0 = Instant::now();
+            // Warmup: touches every page of a, b and c.
             gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
-            let secs = t0.elapsed().as_secs_f64().max(1e-9);
-            let gflops = classical_flops(n, n, n) / secs * 1e-9;
+            let mut gflops = 0.0f64;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+                let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                gflops = gflops.max(classical_flops(n, n, n) / secs * 1e-9);
+            }
             match samples.iter_mut().find(|(sz, _)| *sz == n) {
                 Some((_, g)) => *g = g.max(gflops),
                 None => samples.push((n, gflops)),
@@ -96,6 +111,71 @@ impl GemmProfile {
         }
         steps
     }
+
+    /// Serialize the profile as pretty-printed JSON
+    /// (`{"samples": [{"n": .., "gflops": ..}, ..]}`) so a measured
+    /// machine profile can be saved and replayed by
+    /// [`crate::Planner::profile`] instead of re-measuring.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialization is infallible")
+    }
+
+    /// Parse a profile previously produced by [`GemmProfile::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+impl serde::Serialize for GemmProfile {
+    fn serialize_value(&self) -> serde::Value {
+        let samples = self
+            .samples
+            .iter()
+            .map(|&(n, gflops)| {
+                serde::Value::Object(vec![
+                    ("n".to_string(), serde::Value::Num(n as f64)),
+                    ("gflops".to_string(), serde::Value::Num(gflops)),
+                ])
+            })
+            .collect();
+        serde::Value::Object(vec![("samples".to_string(), serde::Value::Array(samples))])
+    }
+}
+
+impl serde::Deserialize for GemmProfile {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, String> {
+        let serde::Value::Object(fields) = value else {
+            return Err("expected a profile object".into());
+        };
+        let samples_value = fields
+            .iter()
+            .find(|(k, _)| k == "samples")
+            .map(|(_, v)| v)
+            .ok_or("missing `samples` field")?;
+        let serde::Value::Array(items) = samples_value else {
+            return Err("`samples` must be an array".into());
+        };
+        if items.is_empty() {
+            // An empty profile would interpolate to a constant and
+            // silently approve max-depth recursion everywhere — treat a
+            // truncated save file as an error, not a flat machine.
+            return Err("`samples` is empty; refusing to plan from a vacuous profile".into());
+        }
+        let mut samples = Vec::with_capacity(items.len());
+        for item in items {
+            let serde::Value::Object(entry) = item else {
+                return Err("each sample must be an object".into());
+            };
+            let num = |key: &str| -> Result<f64, String> {
+                match entry.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                    Some(serde::Value::Num(x)) => Ok(*x),
+                    _ => Err(format!("sample missing numeric `{key}`")),
+                }
+            };
+            samples.push((num("n")? as usize, num("gflops")?));
+        }
+        Ok(GemmProfile::from_samples(samples))
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +227,27 @@ mod tests {
         let p = GemmProfile::measure(&[32, 64]);
         assert!(p.gflops_at(32) > 0.0);
         assert!(p.gflops_at(64) > 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_samples() {
+        let p = GemmProfile::from_samples(vec![(64, 1.25), (256, 4.5), (1024, 6.0)]);
+        let text = p.to_json();
+        let q = GemmProfile::from_json(&text).unwrap();
+        for n in [32, 64, 160, 256, 700, 1024, 4096] {
+            assert!(
+                (p.gflops_at(n) - q.gflops_at(n)).abs() < 1e-12,
+                "mismatch at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(GemmProfile::from_json("not json").is_err());
+        assert!(GemmProfile::from_json("{\"wrong\": []}").is_err());
+        assert!(GemmProfile::from_json("{\"samples\": [{\"n\": 64}]}").is_err());
+        // An empty sample list would plan as if the machine were flat.
+        assert!(GemmProfile::from_json("{\"samples\": []}").is_err());
     }
 }

@@ -14,6 +14,19 @@
 //! 3. recursively multiplies `M_r = S_r · T_r`, switching among
 //!    sequential, DFS, BFS and HYBRID parallel schemes (§4), and
 //! 4. combines the `M_r` into `C` with the rows of `W`.
+//!
+//! # Memory model
+//!
+//! The executor never allocates temporaries itself: every S/T/M buffer,
+//! every CSE temporary, and the padding copies are carved out of a flat
+//! `&mut [f64]` workspace whose exact size is computed by walking the
+//! recursion tree once ([`required_workspace`]). The [`crate::Plan`] API
+//! computes that size at plan time and reuses a [`crate::Workspace`]
+//! across executes (zero allocation on the hot path); the lower-level
+//! [`FastMul`] allocates one right-sized buffer per call. Under the
+//! BFS/HYBRID schemes each spawned task receives a disjoint slice of the
+//! workspace, which makes the §4.2 memory growth factor explicit in
+//! [`crate::Plan::workspace_len`].
 
 use crate::plan::{output_plan, side_plan, SidePlan, Var};
 use fmm_gemm::{gemm, par_gemm};
@@ -73,11 +86,25 @@ pub enum Scheme {
     Hybrid,
 }
 
+impl Scheme {
+    /// True when recursive children run as independent tasks whose
+    /// workspaces must be disjoint (BFS/HYBRID); Sequential/DFS run
+    /// children one at a time and share a single child region.
+    pub(crate) fn concurrent_children(self) -> bool {
+        matches!(self, Scheme::Bfs | Scheme::Hybrid)
+    }
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
-    /// Recursion depth (`steps` in the paper). Ignored for schedules —
-    /// the schedule length is the depth.
+    /// Recursion depth (`steps` in the paper).
+    ///
+    /// Authoritative for [`FastMul::new`]. For schedule-based
+    /// constructors ([`FastMul::with_schedule`],
+    /// [`crate::Planner::schedule`]) the **schedule length** is the
+    /// depth: pass `steps: 0` (or the matching length) there — a
+    /// conflicting nonzero value trips a `debug_assert`.
     pub steps: usize,
     /// Addition-chain evaluation strategy.
     pub additions: AdditionMethod,
@@ -110,7 +137,8 @@ pub struct ExecStats {
     pub base_gemms: std::sync::atomic::AtomicU64,
     /// Classical fix-up products issued by dynamic peeling.
     pub peel_gemms: std::sync::atomic::AtomicU64,
-    /// Total f64 elements allocated for S/T/M temporaries.
+    /// Total f64 elements checked out of the workspace for S/T/M
+    /// temporaries and padding copies.
     pub temp_elements: std::sync::atomic::AtomicU64,
 }
 
@@ -121,34 +149,45 @@ pub struct ExecStatsSnapshot {
     pub base_gemms: u64,
     /// Peel fix-up gemm calls.
     pub peel_gemms: u64,
-    /// Total temporary f64 elements allocated.
+    /// Total temporary f64 elements checked out of the workspace.
     pub temp_elements: u64,
+    /// Size in bytes of the workspace this execution ran in.
+    pub workspace_bytes: u64,
+    /// True when the execution reused an existing workspace buffer
+    /// without growing it — i.e. the run performed no temp allocation.
+    pub workspace_reused: bool,
 }
 
 impl ExecStats {
-    fn snapshot(&self) -> ExecStatsSnapshot {
+    pub(crate) fn snapshot(
+        &self,
+        workspace_bytes: u64,
+        workspace_reused: bool,
+    ) -> ExecStatsSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
         ExecStatsSnapshot {
             base_gemms: self.base_gemms.load(Relaxed),
             peel_gemms: self.peel_gemms.load(Relaxed),
             temp_elements: self.temp_elements.load(Relaxed),
+            workspace_bytes,
+            workspace_reused,
         }
     }
 }
 
 /// Pre-computed per-level plan.
-struct LevelPlan {
-    m: usize,
-    k: usize,
-    n: usize,
+pub(crate) struct LevelPlan {
+    pub(crate) m: usize,
+    pub(crate) k: usize,
+    pub(crate) n: usize,
     uplan: SidePlan,
     vplan: SidePlan,
     wplan: Vec<Vec<(usize, f64)>>,
-    rank: usize,
+    pub(crate) rank: usize,
 }
 
 impl LevelPlan {
-    fn new(dec: &Decomposition, cse: bool) -> Self {
+    pub(crate) fn new(dec: &Decomposition, cse: bool) -> Self {
         const TOL: f64 = 1e-14;
         LevelPlan {
             m: dec.m,
@@ -162,7 +201,151 @@ impl LevelPlan {
     }
 }
 
+/// Workspace layout of one recursion node, derived from the node's
+/// problem dimensions. The same arithmetic drives both plan-time sizing
+/// ([`required_workspace`]) and runtime carving, so the two can never
+/// disagree.
+struct NodeLayout {
+    peel: PeelSplit,
+    /// Elements of one S_r temporary (`(p1/m) · (q1/k)`).
+    s_size: usize,
+    /// Elements of one T_r temporary (`(q1/k) · (r1/n)`).
+    t_size: usize,
+    /// Elements of one M_r product (`(p1/m) · (r1/n)`).
+    m_size: usize,
+    /// U-side CSE temporary region.
+    ut_len: usize,
+    /// V-side CSE temporary region.
+    vt_len: usize,
+    /// All `rank` M_r products.
+    ms_len: usize,
+    /// All non-passthrough S_r/T_r operands.
+    st_len: usize,
+    /// Workspace of one recursive child.
+    child_len: usize,
+    /// Total child region: `rank · child_len` when children run as
+    /// concurrent tasks (BFS/HYBRID), `child_len` when they run one at
+    /// a time (Sequential/DFS).
+    children_len: usize,
+}
+
+impl NodeLayout {
+    /// Layout for a node at `depth` on a `p × q × r` problem, or `None`
+    /// when the node degenerates to a single base-case gemm (recursion
+    /// exhausted or core empty) and needs no workspace.
+    fn at(
+        levels: &[LevelPlan],
+        depth: usize,
+        scheme: Scheme,
+        p: usize,
+        q: usize,
+        r: usize,
+    ) -> Option<Self> {
+        let lp = levels.get(depth)?;
+        let peel = PeelSplit::new(p, q, r, lp.m, lp.k, lp.n);
+        if peel.core_is_empty() {
+            return None;
+        }
+        let (cp, cq, cr) = (peel.p1 / lp.m, peel.q1 / lp.k, peel.r1 / lp.n);
+        let s_size = cp * cq;
+        let t_size = cq * cr;
+        let m_size = cp * cr;
+        let st_len = (0..lp.rank)
+            .map(|i| {
+                let s = if lp.uplan.passthrough[i].is_none() {
+                    s_size
+                } else {
+                    0
+                };
+                let t = if lp.vplan.passthrough[i].is_none() {
+                    t_size
+                } else {
+                    0
+                };
+                s + t
+            })
+            .sum();
+        let child_len = node_workspace(levels, depth + 1, scheme, cp, cq, cr);
+        let children_len = if scheme.concurrent_children() {
+            lp.rank * child_len
+        } else {
+            child_len
+        };
+        Some(NodeLayout {
+            peel,
+            s_size,
+            t_size,
+            m_size,
+            ut_len: lp.uplan.temps.len() * s_size,
+            vt_len: lp.vplan.temps.len() * t_size,
+            ms_len: lp.rank * m_size,
+            st_len,
+            child_len,
+            children_len,
+        })
+    }
+
+    fn total(&self) -> usize {
+        self.ut_len + self.vt_len + self.ms_len + self.st_len + self.children_len
+    }
+}
+
+/// Workspace elements needed by the subtree rooted at `depth`.
+fn node_workspace(
+    levels: &[LevelPlan],
+    depth: usize,
+    scheme: Scheme,
+    p: usize,
+    q: usize,
+    r: usize,
+) -> usize {
+    NodeLayout::at(levels, depth, scheme, p, q, r).map_or(0, |l| l.total())
+}
+
+/// Exact workspace size (in f64 elements) a `p × q × r` execution of
+/// this schedule requires, including padding copies when
+/// [`BorderHandling::Padding`] is selected. One walk of the recursion
+/// tree; this is what [`crate::Plan::workspace_len`] precomputes.
+pub(crate) fn required_workspace(
+    levels: &[LevelPlan],
+    opts: &Options,
+    p: usize,
+    q: usize,
+    r: usize,
+) -> usize {
+    if opts.border == BorderHandling::Padding && !levels.is_empty() {
+        let (pp, qq, rr) = padded_dims(levels, p, q, r);
+        if (pp, qq, rr) != (p, q, r) {
+            return pp * qq
+                + qq * rr
+                + pp * rr
+                + node_workspace(levels, 0, opts.scheme, pp, qq, rr);
+        }
+    }
+    node_workspace(levels, 0, opts.scheme, p, q, r)
+}
+
+/// Dimensions after zero-padding each axis to the full per-level
+/// product so no recursion level ever peels.
+fn padded_dims(levels: &[LevelPlan], p: usize, q: usize, r: usize) -> (usize, usize, usize) {
+    let mprod: usize = levels.iter().map(|l| l.m).product();
+    let kprod: usize = levels.iter().map(|l| l.k).product();
+    let nprod: usize = levels.iter().map(|l| l.n).product();
+    (
+        p.div_ceil(mprod) * mprod,
+        q.div_ceil(kprod) * kprod,
+        r.div_ceil(nprod) * nprod,
+    )
+}
+
 /// A configured fast multiplication ready to run on any problem size.
+///
+/// This is the low-level, shape-agnostic path: each call sizes and
+/// allocates one flat workspace buffer for the given operands, then
+/// runs allocation-free inside it. When the problem shape is known up
+/// front and the multiply repeats, prefer [`crate::Planner`] /
+/// [`crate::Plan::execute`], which hoist both the sizing walk and the
+/// allocation out of the hot path entirely.
 pub struct FastMul {
     levels: Vec<LevelPlan>,
     opts: Options,
@@ -170,6 +353,9 @@ pub struct FastMul {
 
 impl FastMul {
     /// Uniform algorithm: `opts.steps` recursive applications of `dec`.
+    ///
+    /// `opts.steps` is authoritative here (and only here); the
+    /// schedule-based constructor derives the depth from the schedule.
     pub fn new(dec: &Decomposition, opts: Options) -> Self {
         let levels = (0..opts.steps)
             .map(|_| LevelPlan::new(dec, opts.cse))
@@ -179,8 +365,21 @@ impl FastMul {
 
     /// Composed algorithm: one decomposition per recursion level
     /// (e.g. ⟨3,3,6⟩ ∘ ⟨3,6,3⟩ ∘ ⟨6,3,3⟩ for the ⟨54,54,54⟩ algorithm
-    /// of §5.2). `opts.steps` is ignored.
-    pub fn with_schedule(schedule: &[&Decomposition], opts: Options) -> Self {
+    /// of §5.2).
+    ///
+    /// The schedule length is the recursion depth. Pass `steps: 0` (or
+    /// a value equal to `schedule.len()`): any other nonzero value is a
+    /// configuration bug and trips a `debug_assert`. The stored options
+    /// are normalized so `steps == schedule.len()` afterwards.
+    pub fn with_schedule(schedule: &[&Decomposition], mut opts: Options) -> Self {
+        debug_assert!(
+            opts.steps == 0 || opts.steps == schedule.len(),
+            "Options::steps ({}) conflicts with schedule length ({}); \
+             the schedule length is authoritative — pass steps: 0",
+            opts.steps,
+            schedule.len()
+        );
+        opts.steps = schedule.len();
         let levels = schedule
             .iter()
             .map(|d| LevelPlan::new(d, opts.cse))
@@ -210,56 +409,90 @@ impl FastMul {
         c: MatMut<'_>,
     ) -> ExecStatsSnapshot {
         let stats = ExecStats::default();
-        self.run(a, b, c, Some(&stats));
-        stats.snapshot()
+        let ws_len = self.run(a, b, c, Some(&stats));
+        stats.snapshot((ws_len * std::mem::size_of::<f64>()) as u64, false)
     }
 
-    fn run(&self, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>, stats: Option<&ExecStats>) {
-        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
-        assert_eq!(c.rows(), a.rows(), "output rows mismatch");
-        assert_eq!(c.cols(), b.cols(), "output cols mismatch");
-        let total_leaves: u64 = self.levels.iter().map(|l| l.rank as u64).product();
-        let threads = rayon::current_num_threads() as u64;
-        let threshold = match self.opts.scheme {
-            Scheme::Hybrid => total_leaves - (total_leaves % threads.max(1)),
-            _ => u64::MAX,
-        };
-        let ctx = Ctx {
-            levels: &self.levels,
-            additions: self.opts.additions,
-            scheme: self.opts.scheme,
-            threshold,
-            stats,
-        };
-        if self.opts.border == BorderHandling::Padding && !self.levels.is_empty() {
-            // Pad each dimension to the full per-level product so no
-            // recursion level ever peels.
-            let mprod: usize = self.levels.iter().map(|l| l.m).product();
-            let kprod: usize = self.levels.iter().map(|l| l.k).product();
-            let nprod: usize = self.levels.iter().map(|l| l.n).product();
-            let (p, q, r) = (a.rows(), a.cols(), b.cols());
-            let pp = p.div_ceil(mprod) * mprod;
-            let qq = q.div_ceil(kprod) * kprod;
-            let rr = r.div_ceil(nprod) * nprod;
-            if (pp, qq, rr) != (p, q, r) {
-                let mut ap = Matrix::zeros(pp, qq);
-                let mut bp = Matrix::zeros(qq, rr);
-                kernels::copy(ap.block_mut(0, 0, p, q), a);
-                kernels::copy(bp.block_mut(0, 0, q, r), b);
-                let mut cp = Matrix::zeros(pp, rr);
-                ctx.count(|s| &s.temp_elements, (pp * qq + qq * rr + pp * rr) as u64);
-                run_node(&ctx, 0, 0, ap.as_ref(), bp.as_ref(), cp.as_mut());
-                kernels::copy(c.reborrow(), cp.block(0, 0, p, r));
-                return;
-            }
-        }
-        run_node(&ctx, 0, 0, a, b, c);
+    fn run(&self, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>, stats: Option<&ExecStats>) -> usize {
+        let len = required_workspace(&self.levels, &self.opts, a.rows(), a.cols(), b.cols());
+        let mut buf = vec![0.0f64; len];
+        execute_on(&self.levels, &self.opts, a, b, c, stats, &mut buf);
+        len
     }
 
     /// Recursion depth of this executor.
     pub fn depth(&self) -> usize {
         self.levels.len()
     }
+}
+
+/// Run the schedule inside `ws`, which must hold at least
+/// [`required_workspace`] elements. Shared by [`FastMul`] (fresh buffer
+/// per call) and [`crate::Plan::execute`] (reused [`crate::Workspace`]).
+pub(crate) fn execute_on(
+    levels: &[LevelPlan],
+    opts: &Options,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    mut c: MatMut<'_>,
+    stats: Option<&ExecStats>,
+    ws: &mut [f64],
+) {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "output cols mismatch");
+    let total_leaves: u64 = levels.iter().map(|l| l.rank as u64).product();
+    let threads = rayon::current_num_threads() as u64;
+    let threshold = match opts.scheme {
+        Scheme::Hybrid => total_leaves - (total_leaves % threads.max(1)),
+        _ => u64::MAX,
+    };
+    let ctx = Ctx {
+        levels,
+        additions: opts.additions,
+        scheme: opts.scheme,
+        threshold,
+        stats,
+    };
+    if opts.border == BorderHandling::Padding && !levels.is_empty() {
+        // Pad each dimension to the full per-level product so no
+        // recursion level ever peels.
+        let (p, q, r) = (a.rows(), a.cols(), b.cols());
+        let (pp, qq, rr) = padded_dims(levels, p, q, r);
+        if (pp, qq, rr) != (p, q, r) {
+            ctx.count(|s| &s.temp_elements, (pp * qq + qq * rr + pp * rr) as u64);
+            let (abuf, rest) = ws.split_at_mut(pp * qq);
+            let (bbuf, rest) = rest.split_at_mut(qq * rr);
+            let (cbuf, rest) = rest.split_at_mut(pp * rr);
+            // The workspace may hold stale values from a previous
+            // execute; the pad frame must be exact zeros.
+            abuf.fill(0.0);
+            bbuf.fill(0.0);
+            kernels::copy(
+                MatMut::from_slice(abuf, pp, qq, qq).into_block(0, 0, p, q),
+                a,
+            );
+            kernels::copy(
+                MatMut::from_slice(bbuf, qq, rr, rr).into_block(0, 0, q, r),
+                b,
+            );
+            run_node(
+                &ctx,
+                0,
+                0,
+                MatRef::from_slice(abuf, pp, qq, qq),
+                MatRef::from_slice(bbuf, qq, rr, rr),
+                MatMut::from_slice(cbuf, pp, rr, rr),
+                rest,
+            );
+            kernels::copy(
+                c.reborrow(),
+                MatRef::from_slice(cbuf, pp, rr, rr).block(0, 0, p, r),
+            );
+            return;
+        }
+    }
+    run_node(&ctx, 0, 0, a, b, c, ws);
 }
 
 struct Ctx<'p> {
@@ -345,22 +578,6 @@ impl Ctx<'_> {
     }
 }
 
-/// An `S_r`/`T_r` operand: a borrowed scaled block (singleton columns,
-/// §3.1) or an owned temporary.
-enum Operand<'a> {
-    View(MatRef<'a>, f64),
-    Owned(Matrix, f64),
-}
-
-impl Operand<'_> {
-    fn as_view(&self) -> (MatRef<'_>, f64) {
-        match self {
-            Operand::View(v, s) => (*v, *s),
-            Operand::Owned(m, s) => (m.as_ref(), *s),
-        }
-    }
-}
-
 /// Recursive driver: peel, then run the fast step on the divisible core.
 fn run_node(
     ctx: &Ctx<'_>,
@@ -369,18 +586,16 @@ fn run_node(
     a: MatRef<'_>,
     b: MatRef<'_>,
     mut c: MatMut<'_>,
+    ws: &mut [f64],
 ) {
-    if depth == ctx.levels.len() {
-        ctx.leaf_gemm(leaf_lo, 1.0, a, b, 0.0, c);
-        return;
-    }
-    let lp = &ctx.levels[depth];
     let (p, q, r) = (a.rows(), a.cols(), b.cols());
-    let peel = PeelSplit::new(p, q, r, lp.m, lp.k, lp.n);
-    if peel.core_is_empty() {
+    let Some(layout) = NodeLayout::at(ctx.levels, depth, ctx.scheme, p, q, r) else {
+        // Recursion exhausted, or the core is smaller than the base
+        // case: one classical product.
         ctx.leaf_gemm(leaf_lo, 1.0, a, b, 0.0, c);
         return;
-    }
+    };
+    let peel = layout.peel;
     let (p1, q1, r1) = (peel.p1, peel.q1, peel.r1);
     let (dp, dq, dr) = (peel.dp, peel.dq, peel.dr);
 
@@ -397,6 +612,8 @@ fn run_node(
         a11,
         b11,
         c.reborrow().into_block(0, 0, p1, r1),
+        &layout,
+        ws,
     );
 
     if dq > 0 {
@@ -487,105 +704,154 @@ fn run_node(
     }
 }
 
-/// Evaluate the CSE temporaries of one side.
-fn eval_temps(plan: &SidePlan, grid: &Grid, src: &MatRef<'_>, par: bool) -> Vec<Matrix> {
-    let mut temps: Vec<Matrix> = Vec::with_capacity(plan.temps.len());
+/// Evaluate the CSE temporaries of one side into workspace slices
+/// carved from `buf`, returning a read view of each in evaluation
+/// order (a temp may reference earlier temps).
+fn eval_temps<'w>(
+    plan: &SidePlan,
+    grid: &Grid,
+    src: &MatRef<'w>,
+    par: bool,
+    buf: &'w mut [f64],
+) -> Vec<MatRef<'w>> {
+    let size = grid.rs * grid.cs;
+    let mut done: Vec<MatRef<'w>> = Vec::with_capacity(plan.temps.len());
+    let mut rest = buf;
     for def in &plan.temps {
-        let mut out = Matrix::zeros(grid.rs, grid.cs);
+        let (cur, tail) = rest.split_at_mut(size);
+        rest = tail;
         {
             let terms: Vec<(f64, MatRef<'_>)> = def
                 .iter()
                 .map(|&(v, coef)| match v {
                     Var::Block(bi) => (coef, grid.block(src, bi / grid.bc, bi % grid.bc)),
-                    Var::Temp(t) => (coef, temps[t].as_ref()),
+                    Var::Temp(t) => (coef, done[t]),
                 })
                 .collect();
+            let out = MatMut::from_slice(&mut cur[..], grid.rs, grid.cs, grid.cs);
             if par {
-                kernels::par_lincomb(out.as_mut(), 0.0, &terms);
+                kernels::par_lincomb(out, 0.0, &terms);
             } else {
-                kernels::lincomb(out.as_mut(), 0.0, &terms);
+                kernels::lincomb(out, 0.0, &terms);
             }
         }
-        temps.push(out);
+        done.push(MatRef::from_slice(cur, grid.rs, grid.cs, grid.cs));
     }
-    temps
+    done
+}
+
+/// Carve the per-multiplication S/T buffers out of the node's operand
+/// region: one `s_size`/`t_size` slice per non-passthrough chain,
+/// `None` where the singleton-column optimization (§3.1) borrows the
+/// source block directly.
+#[allow(clippy::type_complexity)]
+fn carve_st<'w>(
+    lp: &LevelPlan,
+    layout: &NodeLayout,
+    st: &'w mut [f64],
+) -> (Vec<Option<&'w mut [f64]>>, Vec<Option<&'w mut [f64]>>) {
+    let mut s: Vec<Option<&'w mut [f64]>> = Vec::with_capacity(lp.rank);
+    let mut t: Vec<Option<&'w mut [f64]>> = Vec::with_capacity(lp.rank);
+    let mut rest = st;
+    for i in 0..lp.rank {
+        if lp.uplan.passthrough[i].is_none() {
+            let (cur, tail) = rest.split_at_mut(layout.s_size);
+            rest = tail;
+            s.push(Some(cur));
+        } else {
+            s.push(None);
+        }
+        if lp.vplan.passthrough[i].is_none() {
+            let (cur, tail) = rest.split_at_mut(layout.t_size);
+            rest = tail;
+            t.push(Some(cur));
+        } else {
+            t.push(None);
+        }
+    }
+    (s, t)
 }
 
 /// Form one operand (`S_r` or `T_r`) with the write-once or pairwise
-/// strategy.
-fn form_operand<'a>(
+/// strategy, returning `(view, scale)` — a borrowed scaled source block
+/// for singleton columns (§3.1) or a view of `buf` after evaluating the
+/// chain into it.
+#[allow(clippy::too_many_arguments)]
+fn form_operand<'x>(
     plan: &SidePlan,
     r: usize,
     grid: &Grid,
-    src: &MatRef<'a>,
-    temps: &[Matrix],
+    src: &MatRef<'x>,
+    temps: &[MatRef<'x>],
     method: AdditionMethod,
     par: bool,
-) -> Operand<'a> {
+    buf: Option<&'x mut [f64]>,
+) -> (MatRef<'x>, f64) {
     if let Some((bi, scale)) = plan.passthrough[r] {
-        return Operand::View(grid.block(src, bi / grid.bc, bi % grid.bc), scale);
+        return (grid.block(src, bi / grid.bc, bi % grid.bc), scale);
     }
+    let buf = buf.expect("non-passthrough operand requires a workspace buffer");
     let chain = &plan.chains[r];
-    let mut out = Matrix::zeros(grid.rs, grid.cs);
     let terms: Vec<(f64, MatRef<'_>)> = chain
         .iter()
         .map(|&(v, coef)| match v {
             Var::Block(bi) => (coef, grid.block(src, bi / grid.bc, bi % grid.bc)),
-            Var::Temp(t) => (coef, temps[t].as_ref()),
+            Var::Temp(t) => (coef, temps[t]),
         })
         .collect();
-    match method {
-        AdditionMethod::Pairwise => {
-            // daxpy-chain: initial scaled copy then one axpy per term.
-            let (c0, s0) = terms[0];
-            if par {
-                kernels::par_copy(out.as_mut(), s0);
-                if c0 != 1.0 {
-                    kernels::scale(out.as_mut(), c0);
-                }
-                for &(cf, sv) in &terms[1..] {
-                    kernels::par_axpy(out.as_mut(), cf, sv);
-                }
-            } else {
-                kernels::copy_scaled(out.as_mut(), c0, s0);
-                for &(cf, sv) in &terms[1..] {
-                    kernels::axpy(out.as_mut(), cf, sv);
+    {
+        let mut out = MatMut::from_slice(&mut buf[..], grid.rs, grid.cs, grid.cs);
+        match method {
+            AdditionMethod::Pairwise => {
+                // daxpy-chain: initial scaled copy then one axpy per term.
+                let (c0, s0) = terms[0];
+                if par {
+                    kernels::par_copy(out.reborrow(), s0);
+                    if c0 != 1.0 {
+                        kernels::scale(out.reborrow(), c0);
+                    }
+                    for &(cf, sv) in &terms[1..] {
+                        kernels::par_axpy(out.reborrow(), cf, sv);
+                    }
+                } else {
+                    kernels::copy_scaled(out.reborrow(), c0, s0);
+                    for &(cf, sv) in &terms[1..] {
+                        kernels::axpy(out.reborrow(), cf, sv);
+                    }
                 }
             }
-        }
-        AdditionMethod::WriteOnce | AdditionMethod::Streaming => {
-            if par {
-                kernels::par_lincomb(out.as_mut(), 0.0, &terms);
-            } else {
-                kernels::lincomb(out.as_mut(), 0.0, &terms);
+            AdditionMethod::WriteOnce | AdditionMethod::Streaming => {
+                if par {
+                    kernels::par_lincomb(out, 0.0, &terms);
+                } else {
+                    kernels::lincomb(out, 0.0, &terms);
+                }
             }
         }
     }
-    Operand::Owned(out, 1.0)
+    (MatRef::from_slice(buf, grid.rs, grid.cs, grid.cs), 1.0)
 }
 
 /// Form all operands of one side with the streaming strategy: zero all
-/// owned temporaries, then stream each source block once, updating
+/// workspace temporaries, then stream each source block once, updating
 /// every chain that references it.
-fn form_side_streaming<'a>(
+fn form_side_streaming<'x>(
     plan: &SidePlan,
     grid: &Grid,
-    src: &MatRef<'a>,
-    temps: &[Matrix],
+    src: &MatRef<'x>,
+    temps: &[MatRef<'x>],
     par: bool,
-) -> Vec<Operand<'a>> {
-    let rank = plan.chains.len();
-    let mut owned: Vec<Option<Matrix>> = (0..rank)
-        .map(|r| {
-            if plan.passthrough[r].is_some() {
-                None
-            } else {
-                Some(Matrix::zeros(grid.rs, grid.cs))
-            }
-        })
-        .collect();
+    bufs: Vec<Option<&'x mut [f64]>>,
+) -> Vec<(MatRef<'x>, f64)> {
+    // The workspace may hold stale values; streaming accumulates, so
+    // every owned destination starts from exact zero.
+    let mut owned: Vec<Option<&'x mut [f64]>> = bufs;
+    for buf in owned.iter_mut().flatten() {
+        buf.fill(0.0);
+    }
 
-    // Reverse index: variable → [(chain, coef)].
+    // Reverse index: variable → [(chain, coef)], chains ascending so
+    // disjoint mutable access can be split off in order.
     let mut by_var: std::collections::HashMap<Var, Vec<(usize, f64)>> =
         std::collections::HashMap::new();
     for (r, chain) in plan.chains.iter().enumerate() {
@@ -600,28 +866,29 @@ fn form_side_streaming<'a>(
     for (&var, targets) in by_var.iter() {
         let srcview = match var {
             Var::Block(bi) => grid.block(src, bi / grid.bc, bi % grid.bc),
-            Var::Temp(t) => temps[t].as_ref(),
+            Var::Temp(t) => temps[t],
         };
-        // Split mutable access to the distinct destination matrices.
+        let mut targets: Vec<(usize, f64)> = targets.clone();
+        targets.sort_unstable_by_key(|&(r, _)| r);
+        // Split disjoint mutable views off `owned` in ascending chain
+        // order (each chain references a variable at most once).
         let mut refs: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(targets.len());
-        {
-            // Collect raw &mut to each target exactly once (targets are
-            // distinct chain indices).
-            let mut taken: Vec<usize> = Vec::new();
-            for &(r, coef) in targets {
-                debug_assert!(!taken.contains(&r));
-                taken.push(r);
-                let m = owned[r].as_mut().expect("streaming target must be owned") as *mut Matrix;
-                // SAFETY: each chain index appears once in `targets`,
-                // so the &mut references are disjoint.
-                let m = unsafe { &mut *m };
-                refs.push((coef, m.as_mut()));
-            }
-            if par {
-                kernels::par_stream_update(&mut refs, srcview);
-            } else {
-                kernels::stream_update(&mut refs, srcview);
-            }
+        let mut rest: &mut [Option<&'x mut [f64]>] = &mut owned;
+        let mut base = 0;
+        for &(r, coef) in &targets {
+            let (_, tail) = rest.split_at_mut(r - base);
+            let (item, tail) = tail.split_at_mut(1);
+            let buf = item[0]
+                .as_mut()
+                .expect("streaming target must have a workspace buffer");
+            refs.push((coef, MatMut::from_slice(buf, grid.rs, grid.cs, grid.cs)));
+            rest = tail;
+            base = r + 1;
+        }
+        if par {
+            kernels::par_stream_update(&mut refs, srcview);
+        } else {
+            kernels::stream_update(&mut refs, srcview);
         }
     }
 
@@ -629,16 +896,18 @@ fn form_side_streaming<'a>(
         .into_iter()
         .enumerate()
         .map(|(r, o)| match o {
-            Some(mat) => Operand::Owned(mat, 1.0),
+            Some(buf) => (MatRef::from_slice(buf, grid.rs, grid.cs, grid.cs), 1.0),
             None => {
                 let (bi, scale) = plan.passthrough[r].unwrap();
-                Operand::View(grid.block(src, bi / grid.bc, bi % grid.bc), scale)
+                (grid.block(src, bi / grid.bc, bi % grid.bc), scale)
             }
         })
         .collect()
 }
 
-/// One fast recursive step on a divisible core problem.
+/// One fast recursive step on a divisible core problem, entirely inside
+/// the `ws` region described by `layout`.
+#[allow(clippy::too_many_arguments)]
 fn fast_step(
     ctx: &Ctx<'_>,
     depth: usize,
@@ -646,6 +915,8 @@ fn fast_step(
     a: MatRef<'_>,
     b: MatRef<'_>,
     c: MatMut<'_>,
+    layout: &NodeLayout,
+    ws: &mut [f64],
 ) {
     let lp = &ctx.levels[depth];
     let ga = Grid::new(a.rows(), a.cols(), lp.m, lp.k);
@@ -654,59 +925,65 @@ fn fast_step(
     let par = ctx.par_adds(depth);
     let leaves_per_child = ctx.leaves_below(depth);
 
+    let (ut_buf, rest) = ws.split_at_mut(layout.ut_len);
+    let (vt_buf, rest) = rest.split_at_mut(layout.vt_len);
+    let (ms_buf, rest) = rest.split_at_mut(layout.ms_len);
+    let (st_buf, child_buf) = rest.split_at_mut(layout.st_len);
+
     // CSE temporaries are shared across all chains of a side.
-    let utemps = eval_temps(&lp.uplan, &ga, &a, par);
-    let vtemps = eval_temps(&lp.vplan, &gb, &b, par);
+    let utemps = eval_temps(&lp.uplan, &ga, &a, par, ut_buf);
+    let vtemps = eval_temps(&lp.vplan, &gb, &b, par, vt_buf);
+
+    // Per-multiplication S/T buffers.
+    let (mut sbufs, mut tbufs) = carve_st(lp, layout, st_buf);
 
     // M_r storage.
-    let sub_rows = a.rows() / lp.m;
-    let sub_cols = b.cols() / lp.n;
-    let mut ms: Vec<Matrix> = (0..rank)
-        .map(|_| Matrix::zeros(sub_rows, sub_cols))
-        .collect();
-    ctx.count(|s| &s.temp_elements, (rank * sub_rows * sub_cols) as u64);
+    let (sub_rows, sub_cols) = (ga.rs, gb.cs);
+    ctx.count(|s| &s.temp_elements, layout.ms_len as u64);
     // Scales piped from singleton S/T columns into the W combination.
     let mut scales = vec![1.0f64; rank];
 
-    let sequentialish = matches!(ctx.scheme, Scheme::Sequential | Scheme::Dfs);
+    let sequentialish = !ctx.scheme.concurrent_children();
 
     match ctx.additions {
         AdditionMethod::Streaming => {
-            let ss = form_side_streaming(&lp.uplan, &ga, &a, &utemps, par);
-            let ts = form_side_streaming(&lp.vplan, &gb, &b, &vtemps, par);
+            let ss =
+                form_side_streaming(&lp.uplan, &ga, &a, &utemps, par, std::mem::take(&mut sbufs));
+            let ts =
+                form_side_streaming(&lp.vplan, &gb, &b, &vtemps, par, std::mem::take(&mut tbufs));
             for r in 0..rank {
-                let (_, su) = ss[r].as_view();
-                let (_, tv) = ts[r].as_view();
-                scales[r] = su * tv;
+                scales[r] = ss[r].1 * ts[r].1;
             }
             if sequentialish {
-                for (r, m) in ms.iter_mut().enumerate() {
-                    let (sv, _) = ss[r].as_view();
-                    let (tv, _) = ts[r].as_view();
+                for (r, m_chunk) in ms_buf.chunks_mut(layout.m_size).enumerate() {
+                    let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                     run_node(
                         ctx,
                         depth + 1,
                         leaf_lo + r as u64 * leaves_per_child,
-                        sv,
-                        tv,
-                        m.as_mut(),
+                        ss[r].0,
+                        ts[r].0,
+                        m,
+                        &mut child_buf[..layout.child_len],
                     );
                 }
             } else {
                 rayon::scope(|scope| {
-                    for (r, m) in ms.iter_mut().enumerate() {
-                        let ssr = &ss;
-                        let tsr = &ts;
+                    let kids = child_chunks(child_buf, layout.child_len, rank);
+                    for ((r, m_chunk), kid) in
+                        ms_buf.chunks_mut(layout.m_size).enumerate().zip(kids)
+                    {
+                        let (sv, tv) = (ss[r].0, ts[r].0);
                         scope.spawn(move |_| {
-                            let (sv, _) = ssr[r].as_view();
-                            let (tv, _) = tsr[r].as_view();
+                            let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                             run_node(
                                 ctx,
                                 depth + 1,
                                 leaf_lo + r as u64 * leaves_per_child,
                                 sv,
                                 tv,
-                                m.as_mut(),
+                                m,
+                                kid,
                             );
                         });
                     }
@@ -715,19 +992,37 @@ fn fast_step(
         }
         AdditionMethod::WriteOnce | AdditionMethod::Pairwise => {
             if sequentialish {
-                for (r, m) in ms.iter_mut().enumerate() {
-                    let s = form_operand(&lp.uplan, r, &ga, &a, &utemps, ctx.additions, par);
-                    let t = form_operand(&lp.vplan, r, &gb, &b, &vtemps, ctx.additions, par);
-                    let (sv, su) = s.as_view();
-                    let (tv, tu) = t.as_view();
+                for (r, m_chunk) in ms_buf.chunks_mut(layout.m_size).enumerate() {
+                    let (sv, su) = form_operand(
+                        &lp.uplan,
+                        r,
+                        &ga,
+                        &a,
+                        &utemps,
+                        ctx.additions,
+                        par,
+                        sbufs[r].take(),
+                    );
+                    let (tv, tu) = form_operand(
+                        &lp.vplan,
+                        r,
+                        &gb,
+                        &b,
+                        &vtemps,
+                        ctx.additions,
+                        par,
+                        tbufs[r].take(),
+                    );
                     scales[r] = su * tu;
+                    let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                     run_node(
                         ctx,
                         depth + 1,
                         leaf_lo + r as u64 * leaves_per_child,
                         sv,
                         tv,
-                        m.as_mut(),
+                        m,
+                        &mut child_buf[..layout.child_len],
                     );
                 }
             } else {
@@ -735,28 +1030,51 @@ fn fast_step(
                     .map(|_| std::sync::atomic::AtomicU64::new(0))
                     .collect();
                 rayon::scope(|scope| {
-                    for (r, m) in ms.iter_mut().enumerate() {
+                    let kids = child_chunks(child_buf, layout.child_len, rank);
+                    for ((((r, m_chunk), kid), sbuf), tbuf) in ms_buf
+                        .chunks_mut(layout.m_size)
+                        .enumerate()
+                        .zip(kids)
+                        .zip(sbufs)
+                        .zip(tbufs)
+                    {
                         let utemps = &utemps;
                         let vtemps = &vtemps;
                         let slots = &scale_slots;
                         scope.spawn(move |_| {
                             // S/T formation is part of the task (§4.2),
                             // hence sequential additions here.
-                            let s =
-                                form_operand(&lp.uplan, r, &ga, &a, utemps, ctx.additions, false);
-                            let t =
-                                form_operand(&lp.vplan, r, &gb, &b, vtemps, ctx.additions, false);
-                            let (sv, su) = s.as_view();
-                            let (tv, tu) = t.as_view();
+                            let (sv, su) = form_operand(
+                                &lp.uplan,
+                                r,
+                                &ga,
+                                &a,
+                                utemps,
+                                ctx.additions,
+                                false,
+                                sbuf,
+                            );
+                            let (tv, tu) = form_operand(
+                                &lp.vplan,
+                                r,
+                                &gb,
+                                &b,
+                                vtemps,
+                                ctx.additions,
+                                false,
+                                tbuf,
+                            );
                             slots[r]
                                 .store((su * tu).to_bits(), std::sync::atomic::Ordering::Relaxed);
+                            let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                             run_node(
                                 ctx,
                                 depth + 1,
                                 leaf_lo + r as u64 * leaves_per_child,
                                 sv,
                                 tv,
-                                m.as_mut(),
+                                m,
+                                kid,
                             );
                         });
                     }
@@ -769,15 +1087,28 @@ fn fast_step(
     }
 
     // Combine: C_ij = Σ_r w_ijr · scale_r · M_r.
-    combine_outputs(ctx, depth, lp, &ms, &scales, c, par);
+    let ms: Vec<MatRef<'_>> = ms_buf
+        .chunks(layout.m_size)
+        .map(|chunk| MatRef::from_slice(chunk, sub_rows, sub_cols, sub_cols))
+        .collect();
+    combine_outputs(ctx, lp, &ms, &scales, c, par);
+}
+
+/// Disjoint per-child workspace regions for concurrent (BFS/HYBRID)
+/// tasks; empty slices when the children are leaves.
+fn child_chunks(child_buf: &mut [f64], child_len: usize, rank: usize) -> Vec<&mut [f64]> {
+    if child_len == 0 {
+        (0..rank).map(|_| Default::default()).collect()
+    } else {
+        child_buf.chunks_mut(child_len).take(rank).collect()
+    }
 }
 
 /// Evaluate the W-side plan into the output blocks.
 fn combine_outputs(
     ctx: &Ctx<'_>,
-    _depth: usize,
     lp: &LevelPlan,
-    ms: &[Matrix],
+    ms: &[MatRef<'_>],
     scales: &[f64],
     c: MatMut<'_>,
     par: bool,
@@ -789,7 +1120,7 @@ fn combine_outputs(
             for (ij, cb) in cblocks.iter_mut().enumerate() {
                 let terms: Vec<(f64, MatRef<'_>)> = lp.wplan[ij]
                     .iter()
-                    .map(|&(r, coef)| (coef * scales[r], ms[r].as_ref()))
+                    .map(|&(r, coef)| (coef * scales[r], ms[r]))
                     .collect();
                 if par {
                     kernels::par_lincomb(cb.reborrow(), 0.0, &terms);
@@ -807,17 +1138,17 @@ fn combine_outputs(
                 }
                 let (r0, c0) = chain[0];
                 if par {
-                    kernels::par_copy(cb.reborrow(), ms[r0].as_ref());
+                    kernels::par_copy(cb.reborrow(), ms[r0]);
                     if c0 * scales[r0] != 1.0 {
                         kernels::scale(cb.reborrow(), c0 * scales[r0]);
                     }
                     for &(r, coef) in &chain[1..] {
-                        kernels::par_axpy(cb.reborrow(), coef * scales[r], ms[r].as_ref());
+                        kernels::par_axpy(cb.reborrow(), coef * scales[r], ms[r]);
                     }
                 } else {
-                    kernels::copy_scaled(cb.reborrow(), c0 * scales[r0], ms[r0].as_ref());
+                    kernels::copy_scaled(cb.reborrow(), c0 * scales[r0], ms[r0]);
                     for &(r, coef) in &chain[1..] {
-                        kernels::axpy(cb.reborrow(), coef * scales[r], ms[r].as_ref());
+                        kernels::axpy(cb.reborrow(), coef * scales[r], ms[r]);
                     }
                 }
             }
@@ -835,9 +1166,9 @@ fn combine_outputs(
                     }
                 }
                 if par {
-                    kernels::par_stream_update(&mut refs, m.as_ref());
+                    kernels::par_stream_update(&mut refs, *m);
                 } else {
-                    kernels::stream_update(&mut refs, m.as_ref());
+                    kernels::stream_update(&mut refs, *m);
                 }
             }
         }

@@ -19,35 +19,72 @@
 //! * the **effective GFLOPS** metric (Eq. 3) and forward-error
 //!   instrumentation for APA and exact algorithms (§2.2.3, §6).
 //!
-//! # Quickstart
+//! # Plan once, execute many
+//!
+//! The framework's design space (depth × scheme × additions × border)
+//! only pays off when resolved per machine and problem shape, so the
+//! primary API separates the two phases FFTW-style:
+//!
+//! * [`Planner`] resolves the configuration — applying the §3.4 cutoff
+//!   rule through a measured [`GemmProfile`], optionally auto-selecting
+//!   the decomposition from a catalog — into an immutable [`Plan`]
+//!   whose exact temporary footprint is computed by walking the
+//!   recursion tree once.
+//! * [`Plan::execute`] runs against a reusable [`Workspace`]: after
+//!   the first call every S/T/M temporary is checked out of the same
+//!   arena, so the hot path performs **zero heap allocation**
+//!   (asserted by [`ExecStatsSnapshot::workspace_reused`]).
+//! * [`Plan::execute_batch`] fans a batch of independent same-shape
+//!   products out across rayon tasks, one workspace each.
 //!
 //! ```
-//! use fmm_core::{FastMul, Options, Scheme};
+//! use fmm_core::{Planner, Workspace};
 //! use fmm_matrix::Matrix;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! // Strassen's algorithm from the bundled catalog equivalent:
-//! let strassen = fmm_tensor::compose::classical(2, 2, 2); // any Decomposition works
-//! let mul = FastMul::new(&strassen, Options { steps: 2, ..Options::default() });
+//! let dec = fmm_tensor::compose::classical(2, 2, 2); // any Decomposition works
+//! let plan = Planner::new()
+//!     .shape(100, 100, 100)
+//!     .algorithm(&dec)
+//!     // With a fast algorithm, .profile(GemmProfile::measure(..))
+//!     // lets the §3.4 rule pick the depth for this machine; the
+//!     // classical decomposition has zero speedup, so pin it here.
+//!     .steps(2)
+//!     .plan()
+//!     .unwrap();
+//! assert!(plan.workspace_len() > 0);
+//! let mut ws = Workspace::for_plan(&plan);
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let a = Matrix::random(100, 100, &mut rng);
 //! let b = Matrix::random(100, 100, &mut rng);
-//! let c = mul.multiply(&a, &b);
-//! assert_eq!(c.shape(), (100, 100));
+//! let mut c = Matrix::zeros(100, 100);
+//! for _ in 0..3 {
+//!     plan.execute(&a, &b, &mut c, &mut ws); // allocation-free after call 1
+//! }
 //! ```
+//!
+//! [`FastMul`] remains as the low-level, shape-agnostic path (one
+//! right-sized workspace allocation per call) for callers that multiply
+//! each shape once.
 
 mod accuracy;
 pub mod codegen;
 pub mod cutoff;
 mod executor;
 pub mod plan;
+mod planner;
+mod workspace;
 
 pub use accuracy::{forward_error, max_rel_error_vs_classical};
 pub use codegen::generate_rust;
 pub use cutoff::GemmProfile;
-pub use executor::{AdditionMethod, BorderHandling, ExecStatsSnapshot, FastMul, Options, Scheme};
+pub use executor::{
+    AdditionMethod, BorderHandling, ExecStats, ExecStatsSnapshot, FastMul, Options, Scheme,
+};
 pub use fmm_gemm::{classical_flops, effective_gflops};
 pub use plan::{cse_stats, CseStats};
+pub use planner::{Plan, PlanError, Planner};
+pub use workspace::Workspace;
 
 use fmm_matrix::Matrix;
 use fmm_tensor::Decomposition;
@@ -96,7 +133,8 @@ pub fn flop_model(dec: &Decomposition, p: usize, q: usize, s: usize, steps: usiz
     dec.rank() as f64 * flop_model(dec, p / m, q / k, s / n, steps - 1) + add_flops
 }
 
-/// Strassen fixture shared by in-crate tests.
+/// Strassen fixture shared by in-crate tests (codegen, planner,
+/// cutoff and executor tests all reuse this single U/V/W literal).
 #[cfg(test)]
 pub(crate) fn codegen_fixture() -> Decomposition {
     let u = fmm_matrix::Matrix::from_rows(&[
@@ -130,25 +168,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn strassen() -> Decomposition {
-        let u = Matrix::from_rows(&[
-            &[1., 0., 1., 0., 1., -1., 0.],
-            &[0., 0., 0., 0., 1., 0., 1.],
-            &[0., 1., 0., 0., 0., 1., 0.],
-            &[1., 1., 0., 1., 0., 0., -1.],
-        ]);
-        let v = Matrix::from_rows(&[
-            &[1., 1., 0., -1., 0., 1., 0.],
-            &[0., 0., 1., 0., 0., 1., 0.],
-            &[0., 0., 0., 1., 0., 0., 1.],
-            &[1., 0., -1., 0., 1., 0., 1.],
-        ]);
-        let w = Matrix::from_rows(&[
-            &[1., 0., 0., 1., -1., 0., 1.],
-            &[0., 0., 1., 0., 1., 0., 0.],
-            &[0., 1., 0., 1., 0., 0., 0.],
-            &[1., -1., 1., 0., 0., 1., 0.],
-        ]);
-        Decomposition::new(2, 2, 2, u, v, w)
+        codegen_fixture()
     }
 
     fn reference(a: &Matrix, b: &Matrix) -> Matrix {
@@ -258,7 +278,13 @@ mod tests {
         let s = strassen();
         let a223 = direct_sum_n(&s, &classical(2, 2, 1));
         let sched = [&s, &a223];
-        let fm = FastMul::with_schedule(&sched, Options::default());
+        let fm = FastMul::with_schedule(
+            &sched,
+            Options {
+                steps: 0, // schedule length is authoritative
+                ..Options::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(10);
         let a = Matrix::random(4 * 13, 4 * 9, &mut rng);
         let b = Matrix::random(4 * 9, 6 * 7, &mut rng);

@@ -1,0 +1,609 @@
+//! Plan/execute separation for fast matrix multiplication.
+//!
+//! The paper's central practical lesson (§3.4, §4) is that a fast
+//! algorithm only pays when the recursion depth, parallel scheme and
+//! addition strategy are chosen *for the machine and the problem
+//! shape*. [`Planner`] is where those choices are made — once, up
+//! front, optionally driven by a measured [`GemmProfile`] and a catalog
+//! of candidate decompositions — and [`Plan`] is the immutable result:
+//! per-level addition plans plus the exact temporary footprint of the
+//! whole recursion tree, computed by walking it once at plan time.
+//! Executing a plan against a reusable [`Workspace`] then allocates
+//! nothing (the FFTW plan/execute and BLIS preallocated-packing-buffer
+//! discipline), which is what makes the batched front door
+//! [`Plan::execute_batch`] cheap enough to serve many small multiplies.
+
+use crate::cutoff::GemmProfile;
+use crate::executor::{
+    execute_on, required_workspace, AdditionMethod, BorderHandling, ExecStats, ExecStatsSnapshot,
+    LevelPlan, Options, Scheme,
+};
+use crate::workspace::Workspace;
+use fmm_matrix::Matrix;
+use fmm_tensor::Decomposition;
+
+/// Why [`Planner::plan`] could not produce a [`Plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No problem shape was given ([`Planner::shape`] is mandatory —
+    /// the workspace footprint depends on it).
+    MissingShape,
+    /// No algorithm, schedule, or auto-selection catalog was given.
+    MissingAlgorithm,
+    /// [`Planner::auto_algorithm`] received an empty candidate list.
+    EmptyCatalog,
+    /// An explicit [`Planner::steps`] conflicts with the schedule
+    /// length, which is authoritative for schedules.
+    StepsConflict {
+        /// The schedule length.
+        schedule_len: usize,
+        /// The conflicting explicit steps value.
+        steps: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::MissingShape => write!(f, "Planner::shape(m, k, n) was not called"),
+            PlanError::MissingAlgorithm => write!(
+                f,
+                "no algorithm given: call algorithm(), schedule() or auto_algorithm()"
+            ),
+            PlanError::EmptyCatalog => write!(f, "auto_algorithm received an empty candidate list"),
+            PlanError::StepsConflict {
+                schedule_len,
+                steps,
+            } => write!(
+                f,
+                "steps({steps}) conflicts with schedule length {schedule_len}; \
+                 the schedule length is authoritative"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+enum AlgChoice {
+    None,
+    /// One decomposition applied uniformly for the chosen depth.
+    Single(Decomposition),
+    /// One decomposition per recursion level; the length is the depth.
+    Schedule(Vec<Decomposition>),
+    /// Pick the best of these candidates for the shape and profile.
+    Auto(Vec<Decomposition>),
+}
+
+/// Builder that turns machine and problem knowledge into a [`Plan`].
+///
+/// With a real fast algorithm (e.g. `fmm_algo::strassen()`), pass a
+/// measured [`GemmProfile`] via [`Planner::profile`] and let the §3.4
+/// rule pick the depth; here an explicit depth keeps the example
+/// self-contained (the classical decomposition has zero speedup, so
+/// the rule would — correctly — plan depth 0 for it):
+///
+/// ```
+/// use fmm_core::{Planner, Workspace};
+/// use fmm_matrix::Matrix;
+///
+/// let dec = fmm_tensor::compose::classical(2, 2, 2); // any Decomposition
+/// let plan = Planner::new()
+///     .shape(128, 128, 128)
+///     .algorithm(&dec)
+///     .steps(2) // or .profile(GemmProfile::measure(..)) to auto-pick
+///     .plan()
+///     .unwrap();
+/// assert_eq!(plan.depth(), 2);
+/// assert!(plan.workspace_len() > 0);
+/// let mut ws = Workspace::for_plan(&plan);
+/// let a = Matrix::identity(128);
+/// let b = Matrix::identity(128);
+/// let mut c = Matrix::zeros(128, 128);
+/// plan.execute(&a, &b, &mut c, &mut ws); // plan once, execute many
+/// ```
+pub struct Planner {
+    shape: Option<(usize, usize, usize)>,
+    alg: AlgChoice,
+    steps: Option<usize>,
+    max_steps: usize,
+    profile: Option<GemmProfile>,
+    additions: AdditionMethod,
+    cse: bool,
+    scheme: Scheme,
+    border: BorderHandling,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
+}
+
+impl Planner {
+    /// A planner with the executor defaults (write-once additions,
+    /// sequential scheme, dynamic peeling, no CSE).
+    pub fn new() -> Self {
+        Planner {
+            shape: None,
+            alg: AlgChoice::None,
+            steps: None,
+            max_steps: 4,
+            profile: None,
+            additions: AdditionMethod::WriteOnce,
+            cse: false,
+            scheme: Scheme::Sequential,
+            border: BorderHandling::DynamicPeeling,
+        }
+    }
+
+    /// Problem shape `C(m×n) = A(m×k) · B(k×n)`. Mandatory: the plan's
+    /// workspace footprint is exact for this shape.
+    pub fn shape(mut self, m: usize, k: usize, n: usize) -> Self {
+        self.shape = Some((m, k, n));
+        self
+    }
+
+    /// Use one decomposition uniformly. Depth comes from
+    /// [`Planner::steps`] when set, otherwise from
+    /// [`GemmProfile::recommended_steps`] when a profile is present,
+    /// otherwise 1.
+    pub fn algorithm(mut self, dec: &Decomposition) -> Self {
+        self.alg = AlgChoice::Single(dec.clone());
+        self
+    }
+
+    /// Use a composed schedule: one decomposition per recursion level
+    /// (§5.2). The schedule length is the depth.
+    pub fn schedule(mut self, schedule: &[&Decomposition]) -> Self {
+        self.alg = AlgChoice::Schedule(schedule.iter().map(|d| (*d).clone()).collect());
+        self
+    }
+
+    /// Pick the best candidate for this shape: for each candidate the
+    /// planner computes the recursion depth the §3.4 cutoff rule
+    /// approves (via the profile when present) and scores it by its
+    /// compounded per-step multiplication speedup
+    /// `(1 + speedup)^steps`. A flat profile therefore sends Strassen
+    /// to full depth while the classical algorithm (zero speedup) plans
+    /// depth 0. Use `fmm_algo::candidates_for_shape` to get a
+    /// shape-ranked candidate list from the catalog.
+    pub fn auto_algorithm(mut self, candidates: &[Decomposition]) -> Self {
+        self.alg = AlgChoice::Auto(candidates.to_vec());
+        self
+    }
+
+    /// Replay a measured (or saved — see [`GemmProfile::from_json`])
+    /// machine profile; drives the §3.4 depth rule and auto-selection.
+    pub fn profile(mut self, profile: GemmProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Explicit recursion depth, overriding the profile-recommended
+    /// depth. With [`Planner::schedule`] it must be 0 or equal to the
+    /// schedule length.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Cap on the profile-recommended recursion depth (default 4).
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Addition-chain evaluation strategy (§3.2).
+    pub fn additions(mut self, additions: AdditionMethod) -> Self {
+        self.additions = additions;
+        self
+    }
+
+    /// Greedy length-2 common subexpression elimination (§3.3).
+    pub fn cse(mut self, cse: bool) -> Self {
+        self.cse = cse;
+        self
+    }
+
+    /// Parallel scheme (§4). BFS/HYBRID plans reserve disjoint
+    /// workspace for every concurrent task, making the §4.2 memory
+    /// factor visible in [`Plan::workspace_len`].
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Remainder handling for non-divisible dimensions (§3.5).
+    pub fn border(mut self, border: BorderHandling) -> Self {
+        self.border = border;
+        self
+    }
+
+    /// Absorb the strategy fields of an executor [`Options`]
+    /// (additions, cse, scheme, border). `steps` is deliberately *not*
+    /// copied — set it via [`Planner::steps`] or let the profile decide.
+    pub fn options(mut self, opts: Options) -> Self {
+        self.additions = opts.additions;
+        self.cse = opts.cse;
+        self.scheme = opts.scheme;
+        self.border = opts.border;
+        self
+    }
+
+    /// Depth the cutoff rule recommends for `dec` on this problem: the
+    /// binding dimension is the smallest one.
+    fn recommended_depth(&self, dec: &Decomposition, shape: (usize, usize, usize)) -> usize {
+        let eff = shape.0.min(shape.1).min(shape.2);
+        match &self.profile {
+            Some(profile) => profile.recommended_steps(dec, eff, self.max_steps),
+            None => usize::from(dec.speedup_per_step() > 0.0),
+        }
+    }
+
+    /// Resolve the configuration into an immutable [`Plan`].
+    pub fn plan(self) -> Result<Plan, PlanError> {
+        let shape = self.shape.ok_or(PlanError::MissingShape)?;
+        let schedule: Vec<Decomposition> = match &self.alg {
+            AlgChoice::None => return Err(PlanError::MissingAlgorithm),
+            AlgChoice::Single(dec) => {
+                let steps = self
+                    .steps
+                    .unwrap_or_else(|| self.recommended_depth(dec, shape));
+                vec![dec.clone(); steps]
+            }
+            AlgChoice::Schedule(s) => {
+                if let Some(steps) = self.steps {
+                    if steps != 0 && steps != s.len() {
+                        return Err(PlanError::StepsConflict {
+                            schedule_len: s.len(),
+                            steps,
+                        });
+                    }
+                }
+                s.clone()
+            }
+            AlgChoice::Auto(cands) => {
+                if cands.is_empty() {
+                    return Err(PlanError::EmptyCatalog);
+                }
+                let mut best: Option<(f64, &Decomposition, usize)> = None;
+                for dec in cands {
+                    let steps = self
+                        .steps
+                        .unwrap_or_else(|| self.recommended_depth(dec, shape));
+                    let score = (1.0 + dec.speedup_per_step()).powi(steps as i32);
+                    if best.is_none_or(|(s, _, _)| score > s) {
+                        best = Some((score, dec, steps));
+                    }
+                }
+                let (_, dec, steps) = best.expect("candidates are non-empty");
+                vec![dec.clone(); steps]
+            }
+        };
+        let opts = Options {
+            steps: schedule.len(),
+            additions: self.additions,
+            cse: self.cse,
+            scheme: self.scheme,
+            border: self.border,
+        };
+        let levels: Vec<LevelPlan> = schedule
+            .iter()
+            .map(|d| LevelPlan::new(d, opts.cse))
+            .collect();
+        let ws_len = required_workspace(&levels, &opts, shape.0, shape.1, shape.2);
+        Ok(Plan {
+            levels,
+            opts,
+            shape,
+            ws_len,
+        })
+    }
+}
+
+/// An immutable, shape-specialized execution plan: per-level addition
+/// plans plus the precomputed temporary footprint of the whole
+/// recursion tree. Produced by [`Planner::plan`]; executed repeatedly
+/// against a [`Workspace`] with zero per-call allocation.
+pub struct Plan {
+    levels: Vec<LevelPlan>,
+    opts: Options,
+    shape: (usize, usize, usize),
+    ws_len: usize,
+}
+
+impl Plan {
+    /// The `(m, k, n)` problem shape this plan is specialized for.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+
+    /// Recursion depth the planner settled on.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The resolved executor options (with `steps` normalized to the
+    /// schedule length).
+    pub fn options(&self) -> Options {
+        self.opts
+    }
+
+    /// Exact workspace requirement in f64 elements: every S/T/M buffer,
+    /// CSE temporary and padding copy of the recursion tree, summed
+    /// with per-task reservations under BFS/HYBRID.
+    pub fn workspace_len(&self) -> usize {
+        self.ws_len
+    }
+
+    /// [`Plan::workspace_len`] in bytes.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws_len * std::mem::size_of::<f64>()
+    }
+
+    /// `C = A · B`. After the first call on a given `workspace`,
+    /// repeated calls allocate nothing.
+    ///
+    /// # Panics
+    /// Panics when the operand shapes differ from [`Plan::shape`].
+    pub fn execute(&self, a: &Matrix, b: &Matrix, c: &mut Matrix, workspace: &mut Workspace) {
+        self.exec(a, b, c, workspace, None);
+    }
+
+    /// As [`Plan::execute`], additionally returning execution
+    /// statistics including the workspace footprint and whether the
+    /// workspace buffer was reused without growing.
+    pub fn execute_with_stats(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        c: &mut Matrix,
+        workspace: &mut Workspace,
+    ) -> ExecStatsSnapshot {
+        let stats = ExecStats::default();
+        let reused = self.exec(a, b, c, workspace, Some(&stats));
+        stats.snapshot(self.workspace_bytes() as u64, reused)
+    }
+
+    fn exec(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        c: &mut Matrix,
+        workspace: &mut Workspace,
+        stats: Option<&ExecStats>,
+    ) -> bool {
+        let (m, k, n) = self.shape;
+        assert_eq!(a.shape(), (m, k), "A shape differs from the planned shape");
+        assert_eq!(b.shape(), (k, n), "B shape differs from the planned shape");
+        assert_eq!(c.shape(), (m, n), "C shape differs from the planned shape");
+        let (buf, reused) = workspace.checkout(self.ws_len);
+        execute_on(
+            &self.levels,
+            &self.opts,
+            a.as_ref(),
+            b.as_ref(),
+            c.as_mut(),
+            stats,
+            buf,
+        );
+        reused
+    }
+
+    /// Batched front door: run every `(Aᵢ, Bᵢ)` product of the batch in
+    /// parallel — one rayon task per problem, sharing nothing but the
+    /// plan — and return the fresh outputs. All problems must have the
+    /// planned shape. For allocation-free repeated batches, keep the
+    /// outputs and workspaces and use [`Plan::execute_batch_into`].
+    pub fn execute_batch(&self, batch: &[(&Matrix, &Matrix)]) -> Vec<Matrix> {
+        let (m, _, n) = self.shape;
+        let mut outs: Vec<Matrix> = batch.iter().map(|_| Matrix::zeros(m, n)).collect();
+        let mut workspaces: Vec<Workspace> =
+            batch.iter().map(|_| Workspace::for_plan(self)).collect();
+        self.execute_batch_into(batch, &mut outs, &mut workspaces);
+        outs
+    }
+
+    /// As [`Plan::execute_batch`], writing into caller-provided outputs
+    /// and workspaces (one per problem) so repeated batches allocate
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics when the three slices differ in length or any problem
+    /// differs from the planned shape.
+    pub fn execute_batch_into(
+        &self,
+        batch: &[(&Matrix, &Matrix)],
+        outs: &mut [Matrix],
+        workspaces: &mut [Workspace],
+    ) {
+        assert_eq!(batch.len(), outs.len(), "one output per batch problem");
+        assert_eq!(
+            batch.len(),
+            workspaces.len(),
+            "one workspace per batch problem"
+        );
+        rayon::scope(|scope| {
+            for ((&(a, b), c), ws) in batch.iter().zip(outs.iter_mut()).zip(workspaces.iter_mut()) {
+                scope.spawn(move |_| self.execute(a, b, c, ws));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_gemm::naive_gemm;
+    use fmm_matrix::{max_abs_diff, Matrix};
+    use fmm_tensor::compose::classical;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn strassen() -> Decomposition {
+        crate::codegen_fixture()
+    }
+
+    fn flat_profile() -> GemmProfile {
+        GemmProfile::from_samples(vec![(64, 4.0), (4096, 4.0)])
+    }
+
+    fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        naive_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        c
+    }
+
+    #[test]
+    fn flat_profile_plans_deep_strassen_and_shallow_classical() {
+        let plan = Planner::new()
+            .shape(512, 512, 512)
+            .algorithm(&strassen())
+            .profile(flat_profile())
+            .plan()
+            .unwrap();
+        assert!(plan.depth() > 0, "flat profile must recurse Strassen");
+
+        let plan = Planner::new()
+            .shape(512, 512, 512)
+            .algorithm(&classical(2, 2, 2))
+            .profile(flat_profile())
+            .plan()
+            .unwrap();
+        assert_eq!(plan.depth(), 0, "classical has no speedup, never pays");
+    }
+
+    #[test]
+    fn auto_algorithm_prefers_the_faster_candidate() {
+        let cands = vec![classical(2, 2, 2), strassen()];
+        let plan = Planner::new()
+            .shape(256, 256, 256)
+            .auto_algorithm(&cands)
+            .profile(flat_profile())
+            .plan()
+            .unwrap();
+        assert!(plan.depth() > 0);
+        let lv = plan.options();
+        assert_eq!(lv.steps, plan.depth());
+    }
+
+    #[test]
+    fn plan_errors_are_reported() {
+        assert_eq!(
+            Planner::new().algorithm(&strassen()).plan().err(),
+            Some(PlanError::MissingShape)
+        );
+        assert_eq!(
+            Planner::new().shape(8, 8, 8).plan().err(),
+            Some(PlanError::MissingAlgorithm)
+        );
+        assert_eq!(
+            Planner::new()
+                .shape(8, 8, 8)
+                .auto_algorithm(&[])
+                .plan()
+                .err(),
+            Some(PlanError::EmptyCatalog)
+        );
+        let s = strassen();
+        let sched = [&s, &s];
+        assert_eq!(
+            Planner::new()
+                .shape(8, 8, 8)
+                .schedule(&sched)
+                .steps(3)
+                .plan()
+                .err(),
+            Some(PlanError::StepsConflict {
+                schedule_len: 2,
+                steps: 3
+            })
+        );
+        // steps == 0 and steps == len are both accepted for schedules.
+        assert_eq!(
+            Planner::new()
+                .shape(8, 8, 8)
+                .schedule(&sched)
+                .steps(0)
+                .plan()
+                .unwrap()
+                .depth(),
+            2
+        );
+    }
+
+    #[test]
+    fn execute_matches_reference_and_reuses_workspace() {
+        let plan = Planner::new()
+            .shape(96, 96, 96)
+            .algorithm(&strassen())
+            .steps(2)
+            .plan()
+            .unwrap();
+        let mut ws = Workspace::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut last_bytes = None;
+        for trial in 0..3 {
+            let a = Matrix::random(96, 96, &mut rng);
+            let b = Matrix::random(96, 96, &mut rng);
+            let mut c = Matrix::zeros(96, 96);
+            let stats = plan.execute_with_stats(&a, &b, &mut c, &mut ws);
+            let want = reference(&a, &b);
+            let d = max_abs_diff(&want.as_ref(), &c.as_ref()).unwrap();
+            assert!(d < 1e-9, "trial {trial}: diff {d}");
+            assert_eq!(stats.workspace_bytes, plan.workspace_bytes() as u64);
+            if let Some(prev) = last_bytes {
+                assert_eq!(stats.workspace_bytes, prev);
+            }
+            last_bytes = Some(stats.workspace_bytes);
+            assert_eq!(stats.workspace_reused, trial > 0);
+        }
+    }
+
+    #[test]
+    fn batch_matches_reference_per_problem() {
+        let plan = Planner::new()
+            .shape(40, 40, 40)
+            .algorithm(&strassen())
+            .steps(1)
+            .plan()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let problems: Vec<(Matrix, Matrix)> = (0..5)
+            .map(|_| {
+                (
+                    Matrix::random(40, 40, &mut rng),
+                    Matrix::random(40, 40, &mut rng),
+                )
+            })
+            .collect();
+        let batch: Vec<(&Matrix, &Matrix)> = problems.iter().map(|(a, b)| (a, b)).collect();
+        let outs = plan.execute_batch(&batch);
+        assert_eq!(outs.len(), 5);
+        for ((a, b), c) in problems.iter().zip(&outs) {
+            let want = reference(a, b);
+            let d = max_abs_diff(&want.as_ref(), &c.as_ref()).unwrap();
+            assert!(d < 1e-9, "batch entry diff {d}");
+        }
+    }
+
+    #[test]
+    fn zero_depth_plan_is_plain_gemm() {
+        let plan = Planner::new()
+            .shape(33, 21, 17)
+            .algorithm(&strassen())
+            .steps(0)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.workspace_len(), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random(33, 21, &mut rng);
+        let b = Matrix::random(21, 17, &mut rng);
+        let mut c = Matrix::zeros(33, 17);
+        let mut ws = Workspace::new();
+        plan.execute(&a, &b, &mut c, &mut ws);
+        let want = reference(&a, &b);
+        assert!(max_abs_diff(&want.as_ref(), &c.as_ref()).unwrap() < 1e-10);
+    }
+}

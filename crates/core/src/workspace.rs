@@ -1,0 +1,97 @@
+//! Reusable execution workspace: one flat `f64` arena that a
+//! [`crate::Plan`] carves all of its S/T/M temporaries out of.
+//!
+//! Planning computes the exact peak temporary footprint by walking the
+//! recursion tree once ([`crate::Plan::workspace_len`]); executing then
+//! checks a right-sized slice out of a `Workspace` and performs **no
+//! heap allocation** — the FFTW/BLIS plan-execute discipline applied to
+//! fast matrix multiplication. A workspace grows monotonically: once it
+//! has served a plan, every further execute of that plan (or any
+//! smaller one) reuses the same buffer, which
+//! [`crate::ExecStatsSnapshot::workspace_reused`] lets tests assert.
+
+use crate::planner::Plan;
+
+/// A reusable bump arena for [`crate::Plan::execute`].
+///
+/// Create one per thread of control (workspaces are not shared between
+/// concurrent executes; [`crate::Plan::execute_batch`] uses one per
+/// batch entry) and keep it alive across calls to amortize the single
+/// allocation.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    buf: Vec<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; the first execute sizes it.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A workspace pre-sized for `plan`, so even the first
+    /// [`crate::Plan::execute`] allocates nothing.
+    pub fn for_plan(plan: &Plan) -> Self {
+        Workspace {
+            buf: vec![0.0; plan.workspace_len()],
+        }
+    }
+
+    /// A workspace holding `len` f64 elements.
+    pub fn with_len(len: usize) -> Self {
+        Workspace {
+            buf: vec![0.0; len],
+        }
+    }
+
+    /// Current capacity in f64 elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no buffer has been acquired yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Borrow the first `len` elements, growing the buffer only when it
+    /// is too small. Returns the slice and whether the existing buffer
+    /// was reused as-is (i.e. the checkout allocated nothing).
+    pub(crate) fn checkout(&mut self, len: usize) -> (&mut [f64], bool) {
+        let reused = self.buf.len() >= len;
+        if !reused {
+            self.buf.resize(len, 0.0);
+        }
+        (&mut self.buf[..len], reused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_grows_then_reuses() {
+        let mut ws = Workspace::new();
+        assert!(ws.is_empty());
+        let (slice, reused) = ws.checkout(16);
+        assert_eq!(slice.len(), 16);
+        assert!(!reused, "first checkout must allocate");
+        let (_, reused) = ws.checkout(16);
+        assert!(reused, "same-size checkout must not allocate");
+        let (_, reused) = ws.checkout(8);
+        assert!(reused, "smaller checkout must not allocate");
+        assert_eq!(ws.len(), 16);
+        let (_, reused) = ws.checkout(32);
+        assert!(!reused, "larger checkout must grow");
+        assert_eq!(ws.len(), 32);
+    }
+
+    #[test]
+    fn with_len_pre_sizes() {
+        let mut ws = Workspace::with_len(10);
+        assert_eq!(ws.len(), 10);
+        let (_, reused) = ws.checkout(10);
+        assert!(reused);
+    }
+}

@@ -6,9 +6,9 @@
 /// * `kc × nc` panels of `B` are packed to fit in L3 (or stay streamable),
 /// * the register microkernel computes an `MR × NR` tile of `C`.
 ///
-/// `MR`/`NR` are compile-time constants ([`crate::packed::MR`],
-/// [`crate::packed::NR`]); the runtime parameters here are the loop tile
-/// sizes, exposed so the benchmark harness can ablate them.
+/// `MR`/`NR` are compile-time constants (`packed::MR`, `packed::NR`);
+/// the runtime parameters here are the loop tile sizes, exposed so the
+/// benchmark harness can ablate them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmConfig {
     /// Rows of the packed A panel.

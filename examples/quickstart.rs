@@ -1,11 +1,11 @@
-//! Quickstart: multiply two matrices with Strassen's algorithm, check
-//! the result against the classical baseline, and report the paper's
-//! effective-GFLOPS metric for both.
+//! Quickstart: plan a Strassen multiplication once, execute it many
+//! times allocation-free, check the result against the classical
+//! baseline, and report the paper's effective-GFLOPS metric for both.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use fast_matmul::algo;
-use fast_matmul::core::{effective_gflops, FastMul, Options};
+use fast_matmul::core::{effective_gflops, GemmProfile, Planner, Workspace};
 use fast_matmul::gemm;
 use fast_matmul::matrix::{relative_error, Matrix};
 use rand::rngs::StdRng;
@@ -23,21 +23,33 @@ fn main() {
     let c_classical = gemm::matmul(&a, &b);
     let classical_secs = t0.elapsed().as_secs_f64();
 
-    // Strassen's algorithm from the catalog, two recursive steps.
+    // Plan: Strassen from the catalog, with the recursion depth chosen
+    // by the §3.4 cutoff rule from a quick gemm profile of this
+    // machine. Planning is the expensive, once-per-shape step.
     let strassen = algo::by_name("strassen").expect("catalog");
     strassen
         .dec
         .verify(0.0)
         .expect("Strassen satisfies the Brent equations");
-    let fast = FastMul::new(
-        &strassen.dec,
-        Options {
-            steps: 2,
-            ..Options::default()
-        },
+    let profile = GemmProfile::measure(&[64, 128, 256, 512]);
+    let plan = Planner::new()
+        .shape(n, n, n)
+        .algorithm(&strassen.dec)
+        .profile(profile)
+        .plan()
+        .expect("complete configuration");
+    println!(
+        "planned depth {} with a {:.1} MB workspace",
+        plan.depth(),
+        plan.workspace_bytes() as f64 / 1e6
     );
+
+    // Execute: the hot path reuses one workspace, allocating nothing
+    // after the first call.
+    let mut ws = Workspace::for_plan(&plan);
+    let mut c_fast = Matrix::zeros(n, n);
     let t0 = Instant::now();
-    let c_fast = fast.multiply(&a, &b);
+    plan.execute(&a, &b, &mut c_fast, &mut ws);
     let fast_secs = t0.elapsed().as_secs_f64();
 
     let err = relative_error(&c_fast.as_ref(), &c_classical.as_ref());
@@ -47,10 +59,9 @@ fn main() {
         effective_gflops(n, n, n, classical_secs)
     );
     println!(
-        "strassen : {fast_secs:.3}s = {:.2} effective GFLOPS ({} recursive multiplies instead of {})",
+        "strassen : {fast_secs:.3}s = {:.2} effective GFLOPS at depth {}",
         effective_gflops(n, n, n, fast_secs),
-        7u32.pow(2),
-        8u32.pow(2),
+        plan.depth(),
     );
     println!("relative error vs classical: {err:.2e}");
     assert!(err < 1e-10, "fast result must match classical");

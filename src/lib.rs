@@ -1,4 +1,63 @@
 //! Facade crate: re-exports the full fast-matmul workspace API.
+//!
+//! # Quickstart: plan once, execute many
+//!
+//! The primary entry point is the plan/execute API of [`core`]
+//! (`fmm-core`): a [`core::Planner`] resolves the algorithm, recursion
+//! depth (§3.4 cutoff rule, optionally from a measured
+//! [`core::GemmProfile`]), parallel scheme and addition strategy into
+//! an immutable [`core::Plan`], and executing the plan against a
+//! reusable [`core::Workspace`] allocates nothing after the first call:
+//!
+//! ```
+//! use fast_matmul::algo;
+//! use fast_matmul::core::{GemmProfile, Planner, Workspace};
+//! use fast_matmul::matrix::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Plan: pick depth for this machine profile and problem shape.
+//! let profile = GemmProfile::from_samples(vec![(64, 4.0), (4096, 4.0)]);
+//! let plan = Planner::new()
+//!     .shape(256, 256, 256)
+//!     .algorithm(&algo::strassen())
+//!     .profile(profile)
+//!     .plan()
+//!     .unwrap();
+//!
+//! // Execute: repeated multiplies reuse one workspace, zero alloc.
+//! let mut ws = Workspace::for_plan(&plan);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = Matrix::random(256, 256, &mut rng);
+//! let b = Matrix::random(256, 256, &mut rng);
+//! let mut c = Matrix::zeros(256, 256);
+//! for _ in 0..3 {
+//!     plan.execute(&a, &b, &mut c, &mut ws);
+//! }
+//!
+//! // Batched front door: independent same-shape products in parallel.
+//! let outs = plan.execute_batch(&[(&a, &b), (&b, &a)]);
+//! assert_eq!(outs.len(), 2);
+//! ```
+//!
+//! Let the planner choose the algorithm too, ranked for the problem
+//! shape by [`algo::candidates_for_shape`]:
+//!
+//! ```no_run
+//! use fast_matmul::{algo, core::{GemmProfile, Planner}};
+//! let cands: Vec<_> = algo::candidates_for_shape(2000, 100, 2000)
+//!     .into_iter()
+//!     .map(|a| a.dec)
+//!     .collect();
+//! let plan = Planner::new()
+//!     .shape(2000, 100, 2000)
+//!     .auto_algorithm(&cands)
+//!     .profile(GemmProfile::measure(&[128, 256, 512, 1024]))
+//!     .plan()
+//!     .unwrap();
+//! ```
+//!
+//! [`core::FastMul`] remains the low-level shape-agnostic path (it
+//! sizes and allocates one workspace per call) for one-shot multiplies.
 pub use fmm_algo as algo;
 pub use fmm_core as core;
 pub use fmm_gemm as gemm;

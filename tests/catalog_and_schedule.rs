@@ -38,7 +38,13 @@ fn table2_ranks_never_exceed_derived_upper_bounds() {
 fn schedule_54_multiplies_correctly_on_divisible_size() {
     let sched = algo::schedule_54();
     let refs: Vec<&fast_matmul::tensor::Decomposition> = sched.iter().collect();
-    let fm = FastMul::with_schedule(&refs, Options::default());
+    let fm = FastMul::with_schedule(
+        &refs,
+        Options {
+            steps: 0, // schedule length is authoritative
+            ..Options::default()
+        },
+    );
     let n = 108; // 2 × 54
     let mut rng = StdRng::seed_from_u64(1);
     let a = Matrix::random(n, n, &mut rng);
@@ -54,7 +60,13 @@ fn schedule_54_multiplies_correctly_on_divisible_size() {
 fn schedule_54_handles_non_divisible_sizes_via_peeling() {
     let sched = algo::schedule_54();
     let refs: Vec<&fast_matmul::tensor::Decomposition> = sched.iter().collect();
-    let fm = FastMul::with_schedule(&refs, Options::default());
+    let fm = FastMul::with_schedule(
+        &refs,
+        Options {
+            steps: 0, // schedule length is authoritative
+            ..Options::default()
+        },
+    );
     let (p, q, r) = (100, 75, 131);
     let mut rng = StdRng::seed_from_u64(2);
     let a = Matrix::random(p, q, &mut rng);

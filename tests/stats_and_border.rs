@@ -138,7 +138,13 @@ fn composed_schedule_leaf_count_is_product_of_ranks() {
     let sched = algo::schedule_54();
     let refs: Vec<&fast_matmul::tensor::Decomposition> = sched.iter().collect();
     let expect: u64 = sched.iter().map(|d| d.rank() as u64).product();
-    let fm = FastMul::with_schedule(&refs, Options::default());
+    let fm = FastMul::with_schedule(
+        &refs,
+        Options {
+            steps: 0, // schedule length is authoritative
+            ..Options::default()
+        },
+    );
     let n = 54;
     let mut rng = StdRng::seed_from_u64(6);
     let a = Matrix::random(n, n, &mut rng);
