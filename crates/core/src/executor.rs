@@ -80,9 +80,10 @@ pub enum Scheme {
     /// barriers (§4.2).
     Bfs,
     /// BFS for the first `R^L − (R^L mod P)` leaves, all-threads DFS
-    /// for the remainder (§4.3). Rayon's work stealing supplies the
-    /// "no oversubscription" guarantee the paper builds with OpenMP
-    /// locks.
+    /// for the remainder (§4.3). The runtime's work stealing supplies
+    /// the "no oversubscription" guarantee the paper builds with
+    /// OpenMP locks: an idle worker steals a pending BFS task instead
+    /// of a new thread being created.
     Hybrid,
 }
 
@@ -140,6 +141,10 @@ pub struct ExecStats {
     /// Total f64 elements checked out of the workspace for S/T/M
     /// temporaries and padding copies.
     pub temp_elements: std::sync::atomic::AtomicU64,
+    /// Bitmask of pool workers that executed at least one gemm during
+    /// this run (bit 63 stands for any non-worker thread). Feeds
+    /// [`ExecStatsSnapshot::threads_used`].
+    pub thread_mask: std::sync::atomic::AtomicU64,
 }
 
 /// Plain snapshot of [`ExecStats`].
@@ -156,6 +161,18 @@ pub struct ExecStatsSnapshot {
     /// True when the execution reused an existing workspace buffer
     /// without growing it — i.e. the run performed no temp allocation.
     pub workspace_reused: bool,
+    /// Number of distinct threads that executed at least one gemm of
+    /// this run — direct evidence of how many workers participated.
+    /// Exact for pools up to 63 workers; wider pools alias into 63
+    /// index buckets (plus one for non-worker threads), making this a
+    /// lower bound there.
+    pub threads_used: u32,
+    /// Work-stealing events (tasks taken from another worker's deque)
+    /// observed across the runtime while this run executed. `> 0` under
+    /// BFS/HYBRID with several workers means the scheduler actually
+    /// balanced load; always 0 for Sequential. Process-wide counter
+    /// diff, so concurrent executions can inflate each other's count.
+    pub tasks_stolen: u64,
 }
 
 impl ExecStats {
@@ -163,6 +180,7 @@ impl ExecStats {
         &self,
         workspace_bytes: u64,
         workspace_reused: bool,
+        tasks_stolen: u64,
     ) -> ExecStatsSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
         ExecStatsSnapshot {
@@ -171,6 +189,8 @@ impl ExecStats {
             temp_elements: self.temp_elements.load(Relaxed),
             workspace_bytes,
             workspace_reused,
+            threads_used: self.thread_mask.load(Relaxed).count_ones(),
+            tasks_stolen,
         }
     }
 }
@@ -409,8 +429,14 @@ impl FastMul {
         c: MatMut<'_>,
     ) -> ExecStatsSnapshot {
         let stats = ExecStats::default();
+        let steals_before = fmm_runtime::steal_count();
         let ws_len = self.run(a, b, c, Some(&stats));
-        stats.snapshot((ws_len * std::mem::size_of::<f64>()) as u64, false)
+        let tasks_stolen = fmm_runtime::steal_count() - steals_before;
+        stats.snapshot(
+            (ws_len * std::mem::size_of::<f64>()) as u64,
+            false,
+            tasks_stolen,
+        )
     }
 
     fn run(&self, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>, stats: Option<&ExecStats>) -> usize {
@@ -509,6 +535,20 @@ impl Ctx<'_> {
             field(stats).fetch_add(amount, std::sync::atomic::Ordering::Relaxed);
         }
     }
+
+    /// Record which thread is doing compute: pool worker `i` sets bit
+    /// `i` (mod 63), non-worker threads set bit 63.
+    fn mark_thread(&self) {
+        if let Some(stats) = self.stats {
+            let bit = match fmm_runtime::worker_index() {
+                Some(i) => i as u64 % 63,
+                None => 63,
+            };
+            stats
+                .thread_mask
+                .fetch_or(1 << bit, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
 }
 
 impl Ctx<'_> {
@@ -541,6 +581,7 @@ impl Ctx<'_> {
         c: MatMut<'_>,
     ) {
         self.count(|s| &s.base_gemms, 1);
+        self.mark_thread();
         match self.scheme {
             Scheme::Sequential | Scheme::Bfs => gemm(alpha, a, b, beta, c),
             Scheme::Dfs => par_gemm(alpha, a, b, beta, c),
@@ -565,6 +606,7 @@ impl Ctx<'_> {
         c: MatMut<'_>,
     ) {
         self.count(|s| &s.peel_gemms, 1);
+        self.mark_thread();
         let par = match self.scheme {
             Scheme::Sequential => false,
             Scheme::Dfs => true,

@@ -13,7 +13,10 @@
 //!   non-zero pipe a scale through to the output combination instead of
 //!   materializing a temporary (§3.1);
 //! * three **parallel schemes** — DFS, BFS, HYBRID (§4) — implemented
-//!   on rayon scoped tasks;
+//!   on scoped tasks over the in-tree work-stealing scheduler
+//!   (`fmm-runtime`, reached through the rayon-compatible facade);
+//!   [`ExecStatsSnapshot::tasks_stolen`] / `threads_used` expose the
+//!   scheduler's behaviour so tests can assert stealing happens;
 //! * **composed schedules** (different base case per recursion level),
 //!   which is how the ⟨54,54,54⟩, ω ≈ 2.775 algorithm of §5.2 is built;
 //! * the **effective GFLOPS** metric (Eq. 3) and forward-error

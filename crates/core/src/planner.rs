@@ -362,8 +362,10 @@ impl Plan {
         workspace: &mut Workspace,
     ) -> ExecStatsSnapshot {
         let stats = ExecStats::default();
+        let steals_before = fmm_runtime::steal_count();
         let reused = self.exec(a, b, c, workspace, Some(&stats));
-        stats.snapshot(self.workspace_bytes() as u64, reused)
+        let tasks_stolen = fmm_runtime::steal_count() - steals_before;
+        stats.snapshot(self.workspace_bytes() as u64, reused, tasks_stolen)
     }
 
     fn exec(
@@ -392,10 +394,13 @@ impl Plan {
     }
 
     /// Batched front door: run every `(Aᵢ, Bᵢ)` product of the batch in
-    /// parallel — one rayon task per problem, sharing nothing but the
-    /// plan — and return the fresh outputs. All problems must have the
-    /// planned shape. For allocation-free repeated batches, keep the
-    /// outputs and workspaces and use [`Plan::execute_batch_into`].
+    /// parallel — one task per problem, sharing nothing but the plan,
+    /// load-balanced across the current pool by the work-stealing
+    /// runtime (`rayon::current_num_threads` wide; run inside
+    /// `ThreadPool::install` or set `FMM_THREADS` to control it) — and
+    /// return the fresh outputs. All problems must have the planned
+    /// shape. For allocation-free repeated batches, keep the outputs
+    /// and workspaces and use [`Plan::execute_batch_into`].
     pub fn execute_batch(&self, batch: &[(&Matrix, &Matrix)]) -> Vec<Matrix> {
         let (m, _, n) = self.shape;
         let mut outs: Vec<Matrix> = batch.iter().map(|_| Matrix::zeros(m, n)).collect();

@@ -1,0 +1,21 @@
+//! Stress check: many short-lived pools must start, serve work, and
+//! shut down cleanly (workers joined, no leaked threads or wakeups) —
+//! the lifecycle the bench harness exercises by building one pool per
+//! measurement.
+//!
+//! Run with: `cargo run --release -p fmm-runtime --example pool_cycle`
+
+use fmm_runtime::{join, ThreadPoolBuilder};
+
+fn main() {
+    for i in 0..50i64 {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let v = pool.install(|| {
+            let (a, b) = join(|| i * 2, || i * 3);
+            a + b
+        });
+        assert_eq!(v, i * 5);
+        drop(pool);
+    }
+    println!("50 pool create/use/drop cycles OK");
+}

@@ -1,0 +1,154 @@
+//! Fixed-capacity Chase–Lev work-stealing deque.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO, which keeps the
+//! recursive executor cache-hot); thieves steal from the *top* (FIFO,
+//! which hands them the oldest — and for recursive decompositions the
+//! largest — pending task, exactly the property the BFS scheme's load
+//! balance relies on). Memory ordering follows Lê, Pop, Cohen &
+//! Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+//! Models" (PPoPP 2013).
+//!
+//! The buffer is fixed-size rather than growable: a full deque makes
+//! [`Deque::push`] return the job to the caller, who runs it inline.
+//! That trades a rare loss of parallelism for never having to reclaim
+//! a reallocated buffer under concurrent steals. A slot may be
+//! overwritten by a `push` while a slow thief is still reading it; the
+//! thief's compare-exchange on `top` then fails and the torn value is
+//! discarded without being executed.
+
+use crate::job::JobRef;
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Capacity in jobs. The executor spawns at most `rank` tasks per
+/// recursion node (≤ 40 for every catalog algorithm) and the batch API
+/// one per problem, so 8192 pending jobs per worker is far beyond any
+/// real schedule; overflow degrades to inline execution, not an error.
+const CAPACITY: usize = 8192;
+
+/// One slot: a [`JobRef`] split into its two words so concurrent
+/// accesses are data-race-free atomic loads/stores. Tearing between the
+/// words is tolerated because a racing thief always revalidates with a
+/// compare-exchange on `top` before executing what it read.
+struct Slot {
+    data: AtomicUsize,
+    exec: AtomicUsize,
+}
+
+/// Result of a steal attempt.
+pub(crate) enum Steal {
+    /// Got a job.
+    Success(JobRef),
+    /// Deque was observed empty.
+    Empty,
+    /// Lost a race; worth retrying.
+    Retry,
+}
+
+/// A single-owner, multi-thief work-stealing deque.
+pub(crate) struct Deque {
+    /// Thief end. Monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end. Only the owner writes it.
+    bottom: AtomicIsize,
+    buf: Box<[Slot]>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        let buf = (0..CAPACITY)
+            .map(|_| Slot {
+                data: AtomicUsize::new(0),
+                exec: AtomicUsize::new(0),
+            })
+            .collect();
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &Slot {
+        &self.buf[(index as usize) & (CAPACITY - 1)]
+    }
+
+    /// Owner-only: push a job at the bottom. Returns the job back when
+    /// the deque is full (caller should execute it inline).
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= CAPACITY as isize {
+            return Err(job);
+        }
+        let (data, exec) = job.to_words();
+        let slot = self.slot(b);
+        slot.data.store(data, Ordering::Relaxed);
+        slot.exec.store(exec, Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible.
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed job (LIFO).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the bottom decrement against thieves'
+        // top/bottom reads: either we see their increment of `top` or
+        // they see our decrement of `bottom` — never both miss.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let slot = self.slot(b);
+            let data = slot.data.load(Ordering::Relaxed);
+            let exec = slot.exec.load(Ordering::Relaxed);
+            let job = unsafe { JobRef::from_words(data, exec) };
+            if t == b {
+                // Last element: race the thieves for it.
+                if self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                    return None;
+                }
+                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            }
+            Some(job)
+        } else {
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: take the oldest job (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let slot = self.slot(t);
+            let data = slot.data.load(Ordering::Relaxed);
+            let exec = slot.exec.load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(unsafe { JobRef::from_words(data, exec) })
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Cheap emptiness hint for the sleep heuristic (racy by nature).
+    pub(crate) fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        b.wrapping_sub(t) <= 0
+    }
+}

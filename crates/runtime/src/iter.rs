@@ -1,0 +1,207 @@
+//! Minimal indexed parallel iterators: `par_chunks` / `par_chunks_mut`
+//! with genuinely parallel `for_each`, plus `zip`.
+//!
+//! This is the small slice of rayon's `IndexedParallelIterator` the
+//! workspace uses. Driving an iterator recursively splits it in half
+//! with [`crate::join`] until either the pieces outnumber the pool
+//! (oversplitting ~2× per worker so the deques always hold stealable
+//! work) or a piece shrinks to one item, then runs the leaf
+//! sequentially on whichever worker ends up owning it.
+
+/// An exactly-sized, splittable parallel iterator.
+pub trait IndexedParallelIterator: Sized + Send {
+    /// Items handed to `for_each` (e.g. one chunk per item).
+    type Item: Send;
+
+    /// Remaining item count.
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into the first `index` items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Drain sequentially on the current thread (the leaf case).
+    fn drive_seq<F: FnMut(Self::Item)>(self, f: &mut F);
+
+    /// Pair items with a second iterator's, truncating to the shorter.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Apply `f` to every item, in parallel across the current pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        // ~2 pieces per worker keeps every deque stocked for stealing
+        // without drowning in scheduling overhead.
+        let pieces = (crate::current_num_threads() * 2).max(1);
+        drive(self, &f, pieces);
+    }
+}
+
+fn drive<I, F>(iter: I, f: &F, pieces: usize)
+where
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) + Sync + Send,
+{
+    if pieces <= 1 || iter.len() <= 1 {
+        let mut apply = |item| f(item);
+        iter.drive_seq(&mut apply);
+        return;
+    }
+    let mid = iter.len() / 2;
+    let (left, right) = iter.split_at(mid);
+    let right_pieces = pieces / 2;
+    crate::join(
+        || drive(left, f, pieces - right_pieces),
+        || drive(right, f, right_pieces),
+    );
+}
+
+/// Parallel iterator over `chunk_size`-sized pieces of a shared slice.
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at(elems);
+        (
+            ParChunks {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            ParChunks {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn drive_seq<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for chunk in self.slice.chunks(self.chunk_size) {
+            f(chunk);
+        }
+    }
+}
+
+/// Parallel iterator over `chunk_size`-sized pieces of a mutable slice.
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at_mut(elems);
+        (
+            ParChunksMut {
+                slice: left,
+                chunk_size: self.chunk_size,
+            },
+            ParChunksMut {
+                slice: right,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn drive_seq<F: FnMut(Self::Item)>(self, f: &mut F) {
+        for chunk in self.slice.chunks_mut(self.chunk_size) {
+            f(chunk);
+        }
+    }
+}
+
+/// Lock-step pairing of two indexed parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn drive_seq<F: FnMut(Self::Item)>(self, f: &mut F) {
+        // Lock-step by peeling one item off each side per round —
+        // allocation-free, since leaves run inside timed hot loops.
+        let mut rest = self;
+        for _ in 0..rest.len() {
+            let (head, tail) = rest.split_at(1);
+            rest = tail;
+            let mut item_a = None;
+            head.a.drive_seq(&mut |item| item_a = Some(item));
+            let mut item_b = None;
+            head.b.drive_seq(&mut |item| item_b = Some(item));
+            if let (Some(a), Some(b)) = (item_a, item_b) {
+                f((a, b));
+            }
+        }
+    }
+}
+
+/// `par_chunks` for shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-element pieces.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut` for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `chunk_size`-element mutable pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}

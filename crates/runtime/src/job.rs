@@ -1,0 +1,245 @@
+//! Type-erased jobs and completion latches.
+//!
+//! A [`JobRef`] is two words — a data pointer and an execute function —
+//! small enough to live in a deque slot. The pointee is either a
+//! [`StackJob`] (borrowed from the stack frame of a blocked `join` or
+//! `install` caller, valid because that frame cannot unwind until the
+//! job's latch is set) or a [`HeapJob`] (a boxed `scope` spawn, freed by
+//! its own execution).
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Erased pointer to a job plus the function that runs it.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// A JobRef crosses threads by design; the underlying Job impls are
+// required (by the unsafe contract of `new`) to be Send-safe.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// `data` must stay valid until the job executes exactly once.
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            execute_fn: |ptr| unsafe { T::execute(ptr as *const T) },
+        }
+    }
+
+    /// Run the job. Consumes the (copy of the) ref.
+    ///
+    /// # Safety
+    /// Must be called exactly once per underlying job.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+
+    /// Split into two words for atomic deque slots.
+    pub(crate) fn to_words(self) -> (usize, usize) {
+        (self.data as usize, self.execute_fn as usize)
+    }
+
+    /// Rebuild from deque-slot words.
+    ///
+    /// # Safety
+    /// The words must come from [`JobRef::to_words`] of a live job.
+    pub(crate) unsafe fn from_words(data: usize, exec: usize) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            execute_fn: unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(exec) },
+        }
+    }
+
+    /// Identity comparison (used by `join` to recognize its own job).
+    /// The data pointer alone identifies a live job: it addresses a
+    /// unique `StackJob`/`HeapJob` allocation.
+    pub(crate) fn same_job(self, other: JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+/// A unit of work the pool can execute through an erased pointer.
+pub(crate) trait Job {
+    /// # Safety
+    /// Called exactly once, with `this` valid for the call's duration.
+    unsafe fn execute(this: *const Self);
+}
+
+/// Outcome slot of a [`StackJob`].
+pub(crate) enum JobResult<R> {
+    /// Not executed yet.
+    None,
+    /// Completed with a value.
+    Ok(R),
+    /// The closure panicked; payload preserved for the owner to rethrow.
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job whose closure, result and latch live on the spawning thread's
+/// stack. Safe because the spawner blocks (stealing work or parked on a
+/// condvar) until the latch is set, so the frame outlives the job.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// # Safety
+    /// The returned ref must execute before `self` drops.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Reclaim the closure when the job was never handed to the pool
+    /// (deque-full fallback) so the caller can run it directly.
+    pub(crate) fn take_func(&self) -> F {
+        unsafe { (*self.func.get()).take() }.expect("job closure already taken")
+    }
+
+    /// Consume the result after the latch is set: returns the value or
+    /// rethrows the job's panic on the caller's thread.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => panic::resume_unwind(p),
+            JobResult::None => unreachable!("StackJob result taken before execution"),
+        }
+    }
+}
+
+impl<L: Latch, F, R> Job for StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = this.take_func();
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        unsafe { *this.result.get() = result };
+        // Setting the latch releases the spawner, which may deallocate
+        // the frame — it must be the last touch of `this`.
+        this.latch.set();
+    }
+}
+
+/// A boxed job for `scope` spawns, which outlive their spawn call site
+/// (but never the scope itself). Executing frees the box.
+pub(crate) struct HeapJob<F: FnOnce()> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    /// Box the closure and erase it into a [`JobRef`].
+    pub(crate) fn into_job_ref(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        unsafe { JobRef::new(Box::into_raw(boxed)) }
+    }
+}
+
+impl<F: FnOnce()> Job for HeapJob<F> {
+    unsafe fn execute(this: *const Self) {
+        let boxed = unsafe { Box::from_raw(this as *mut Self) };
+        // Panic handling is the closure's responsibility (scope wraps
+        // its tasks); the box must still free on unwind.
+        (boxed.func)();
+    }
+}
+
+/// Completion signal a blocked spawner waits on.
+pub(crate) trait Latch {
+    /// Mark complete and wake any waiter. May be the last operation on
+    /// the memory that owns the latch.
+    fn set(&self);
+}
+
+/// Latch for waiters that are themselves pool workers: they poll
+/// [`SpinLatch::probe`] between stealing other work, so `set` only
+/// needs to flip the flag (plus a wake in case the waiter's pool went
+/// to sleep — see `Registry::wait_until`).
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+impl Latch for &SpinLatch {
+    fn set(&self) {
+        (*self).set()
+    }
+}
+
+/// Latch for external (non-worker) waiters: a mutex/condvar pair the
+/// waiter parks on, since it has no queue to steal from.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            state: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.state.lock().unwrap();
+        while !*done {
+            done = self.cond.wait(done).unwrap();
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock().unwrap();
+        *done = true;
+        self.cond.notify_all();
+    }
+}
+
+impl Latch for &LockLatch {
+    fn set(&self) {
+        (*self).set()
+    }
+}

@@ -1,0 +1,664 @@
+//! The worker registry: spawned threads, their deques, the global
+//! injector, and the sleep machinery, plus the blocking primitives
+//! (`join`, `scope`, `install`) built on top of them.
+//!
+//! Scheduling policy (the rayon/Cilk discipline):
+//!
+//! 1. a worker runs jobs popped LIFO from its own deque;
+//! 2. when that is empty it takes from the FIFO injector (work handed
+//!    in by non-worker threads);
+//! 3. then it tries to steal FIFO from the other workers' deques;
+//! 4. after repeated failure it parks on a condvar until new work is
+//!    announced.
+//!
+//! Blocked operations never sleep while work might exist: a worker
+//! waiting on a `join`/`scope` latch keeps executing other jobs
+//! (work-stealing wait), which is what lets arbitrarily nested
+//! parallelism run on a fixed thread count without deadlock.
+
+use crate::deque::{Deque, Steal};
+use crate::job::{HeapJob, JobRef, LockLatch, SpinLatch, StackJob};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Process-wide count of successful deque-to-deque steals. This is the
+/// observable the executor surfaces as `ExecStatsSnapshot::tasks_stolen`
+/// so tests can assert the scheduler actually balances load.
+static STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Total jobs taken from another worker's deque since process start,
+/// across every pool. Monotonic; diff two readings to attribute steals
+/// to a region of execution.
+pub fn steal_count() -> u64 {
+    STEALS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// `(registry address, worker index)` of the current thread, when
+    /// it is a pool worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Index of the current thread inside its pool, or `None` on threads
+/// that are not pool workers.
+pub fn worker_index() -> Option<usize> {
+    WORKER.with(|w| w.get()).map(|(_, i)| i)
+}
+
+/// Environment variable overriding the default pool width.
+pub const THREADS_ENV: &str = "FMM_THREADS";
+
+/// Default pool width: `FMM_THREADS` when set to a positive integer,
+/// otherwise the hardware thread count.
+pub fn default_num_threads() -> usize {
+    if let Ok(val) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = val.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Lock-free emptiness hint for `injector`.
+    injector_len: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    /// Workers currently parked (or about to park) on `sleep_cond`.
+    sleepers: AtomicUsize,
+    terminating: AtomicBool,
+    width: usize,
+}
+
+impl Registry {
+    fn new(width: usize) -> Self {
+        Registry {
+            deques: (0..width).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminating: AtomicBool::new(false),
+            width,
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Registry as usize
+    }
+
+    /// Is the current thread a worker of this registry? Returns its
+    /// index if so.
+    fn current_index(&self) -> Option<usize> {
+        match WORKER.with(|w| w.get()) {
+            Some((addr, index)) if addr == self.addr() => Some(index),
+            _ => None,
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        self.injector_len.load(Ordering::Relaxed) > 0 || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// Wake parked workers because new work exists. Cheap when nobody
+    /// sleeps (one fenced load).
+    fn notify_work(&self) {
+        // Store-buffer pairing with `idle_sleep`: our work became
+        // visible (push) before this fence; a worker that incremented
+        // `sleepers` before our load re-checks `has_work` after its own
+        // fence. One of the two must observe the other.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock().unwrap();
+            self.sleep_cond.notify_all();
+        }
+    }
+
+    /// Push onto the current worker's own deque; `Err` gives the job
+    /// back when the deque is full.
+    fn push_local(&self, index: usize, job: JobRef) -> Result<(), JobRef> {
+        let res = self.deques[index].push(job);
+        if res.is_ok() {
+            self.notify_work();
+        }
+        res
+    }
+
+    /// Hand work in from outside (or across pools): FIFO injector.
+    fn inject(&self, job: JobRef) {
+        {
+            let mut q = self.injector.lock().unwrap();
+            q.push_back(job);
+            self.injector_len.store(q.len(), Ordering::Relaxed);
+        }
+        self.notify_work();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injector_len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock().unwrap();
+        let job = q.pop_front();
+        self.injector_len.store(q.len(), Ordering::Relaxed);
+        job
+    }
+
+    /// One full work-finding pass for worker `index`: own deque, then
+    /// the injector, then one steal sweep over the other workers.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.pop_injected() {
+            return Some(job);
+        }
+        self.steal_work(index)
+    }
+
+    /// Steal sweep: scan the other deques (starting after ourselves so
+    /// thieves spread out), retrying victims that report contention.
+    fn steal_work(&self, index: usize) -> Option<JobRef> {
+        if self.width <= 1 {
+            return None;
+        }
+        let mut contended = true;
+        while std::mem::take(&mut contended) {
+            for k in 1..self.width {
+                let victim = (index + k) % self.width;
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => {
+                        STEALS.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Park until work is announced. The advertise-then-recheck
+    /// protocol (fenced against `notify_work`) makes the wakeup
+    /// reliable; the long timeout is only a belt-and-braces bound so an
+    /// idle pool costs ~2 wakeups/s/worker rather than a busy poll.
+    fn idle_sleep(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if !self.has_work() && !self.terminating.load(Ordering::Acquire) {
+            let guard = self.sleep_mutex.lock().unwrap();
+            if !self.has_work() && !self.terminating.load(Ordering::Acquire) {
+                let _ = self
+                    .sleep_cond
+                    .wait_timeout(guard, Duration::from_millis(500));
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Work-stealing wait: keep the CPU busy with other jobs until the
+    /// latch fires. Only callable on a worker of this registry.
+    fn wait_until(&self, index: usize, latch: &SpinLatch) {
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                unsafe { job.execute() };
+                idle_spins = 0;
+            } else if idle_spins < 32 {
+                idle_spins += 1;
+                std::hint::spin_loop();
+            } else {
+                // Let the thief that holds our job run (essential on
+                // machines with fewer cores than workers).
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Run `op` on a worker of this registry, blocking the calling
+    /// thread until it completes. No-op indirection when the caller
+    /// already is one.
+    fn in_worker<OP, R>(self: &Arc<Registry>, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.current_index().is_some() {
+            return op();
+        }
+        let latch = LockLatch::new();
+        let job = StackJob::new(&latch, op);
+        // Safety: this frame blocks on the latch until the job ran.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.inject(job_ref);
+        latch.wait();
+        job.into_result()
+    }
+
+    fn terminate(&self) {
+        self.terminating.store(true, Ordering::Release);
+        let _guard = self.sleep_mutex.lock().unwrap();
+        self.sleep_cond.notify_all();
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((registry.addr(), index))));
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            // Jobs handle their own panics (StackJob catches for the
+            // owner; scope tasks catch for the scope), so an unwind
+            // escaping here would indicate a runtime bug and is allowed
+            // to take the worker down loudly.
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminating.load(Ordering::Acquire) && !registry.has_work() {
+            break;
+        }
+        registry.idle_sleep();
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (thread spawn failure).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with the default width
+    /// ([`default_num_threads`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the pool width; `0` means "default", as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Spawn the worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = self.num_threads.unwrap_or_else(default_num_threads).max(1);
+        let registry = Arc::new(Registry::new(width));
+        let mut handles = Vec::with_capacity(width);
+        for index in 0..width {
+            let reg = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("fmm-worker-{index}"))
+                .spawn(move || worker_main(reg, index))
+                .map_err(|e| ThreadPoolBuildError { msg: e.to_string() })?;
+            handles.push(handle);
+        }
+        Ok(ThreadPool { registry, handles })
+    }
+}
+
+/// A work-stealing thread pool: one OS thread per unit of width, each
+/// with a private Chase–Lev deque, sharing a FIFO injector.
+///
+/// Dropping the pool drains outstanding work and joins the workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.width)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Run `op` inside the pool: `join`/`scope`/`spawn` calls made from
+    /// `op` schedule onto this pool's workers, and
+    /// [`current_num_threads`] reports this pool's width. The calling
+    /// thread blocks until `op` returns; panics propagate.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.in_worker(op)
+    }
+
+    /// This pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.width
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The lazily-created global pool ([`default_num_threads`] wide) that
+/// serves `join`/`scope`/`spawn` calls made outside any
+/// [`ThreadPool::install`].
+fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to build the global thread pool")
+    })
+}
+
+/// Advertised parallelism: the width of the pool the current thread
+/// runs in (the global pool outside any [`ThreadPool::install`]).
+///
+/// Deliberately side-effect free: querying the width does *not* spawn
+/// the global pool (a sequential caller sizing its splits should not
+/// pay for worker threads it never uses), it only reads the width the
+/// pool has or would have.
+pub fn current_num_threads() -> usize {
+    match WORKER.with(|w| w.get()) {
+        Some((addr, _)) => unsafe { &*(addr as *const Registry) }.width,
+        None => match GLOBAL.get() {
+            Some(pool) => pool.current_num_threads(),
+            None => default_num_threads(),
+        },
+    }
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. Panics in either closure propagate to the caller.
+///
+/// On a worker thread, `oper_b` is pushed onto the local deque (where
+/// idle workers steal it) while `oper_a` runs inline; if nobody stole
+/// it, the worker pops it back and runs it itself — the classic
+/// work-stealing `join`. Called from outside a pool, the whole join
+/// first migrates onto the global pool.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let worker = WORKER.with(|w| w.get());
+    match worker {
+        Some((addr, index)) => {
+            let registry = unsafe { &*(addr as *const Registry) };
+            join_on_worker(registry, index, oper_a, oper_b)
+        }
+        None => global_pool().install(|| join(oper_a, oper_b)),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let latch = SpinLatch::new();
+    let job_b = StackJob::new(&latch, oper_b);
+    // Safety: this frame outlives the job — every path below either
+    // executes it or waits for its latch before returning/unwinding.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    if registry.push_local(index, job_b_ref).is_err() {
+        // Deque full (pathological fan-out): degrade to sequential.
+        let func_b = job_b.take_func();
+        return (oper_a(), func_b());
+    }
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    // Resolve b: pop it back if still local (running jobs pushed above
+    // it first), otherwise wait for the thief — executing other work
+    // the whole time.
+    while !latch.probe() {
+        match registry.deques[index].pop() {
+            Some(job) if job.same_job(job_b_ref) => {
+                if result_a.is_err() {
+                    // a panicked: discard b rather than running it.
+                    drop(job_b.take_func());
+                } else {
+                    unsafe { job.execute() };
+                }
+                break;
+            }
+            Some(job) => unsafe { job.execute() },
+            None => {
+                registry.wait_until(index, &latch);
+                break;
+            }
+        }
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Raw pointer wrapper that asserts cross-thread validity; used to
+/// smuggle the scope pointer into erased task closures, which is sound
+/// because the scope outlives (blocks on) all of its tasks.
+struct SendPtr(*const ());
+unsafe impl Send for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Send` wrapper, not the raw-pointer field.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+/// Structured task scope handed to [`scope`] closures: every task
+/// spawned through it completes before `scope` returns, so tasks may
+/// borrow from the enclosing environment (`'scope`).
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding tasks (+1 virtual token held by the scope body, so
+    /// the count cannot reach zero before `complete` runs).
+    pending: AtomicUsize,
+    /// First task panic, rethrown after all tasks finish.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done_mutex: Mutex<()>,
+    done_cond: Condvar,
+    /// Invariant over `'scope`, as in rayon.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    fn new(registry: Arc<Registry>) -> Self {
+        Scope {
+            registry,
+            pending: AtomicUsize::new(1),
+            panic: Mutex::new(None),
+            done_mutex: Mutex::new(()),
+            done_cond: Condvar::new(),
+            marker: PhantomData,
+        }
+    }
+
+    /// Schedule `body` to run on the scope's pool before the scope
+    /// ends. Tasks spawned from a worker go to its deque (and get
+    /// stolen from there); tasks spawned from other threads go through
+    /// the injector.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = SendPtr(self as *const Scope<'scope> as *const ());
+        let task = move || {
+            // Safety: the scope blocks in `wait_all` until `pending`
+            // drains, so the pointer is valid for the task's lifetime.
+            let scope = unsafe { &*(scope_ptr.get() as *const Scope<'scope>) };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.store_panic(payload);
+            }
+            scope.task_done(); // must be the task's last touch of the scope
+        };
+        let job = HeapJob::into_job_ref(task);
+        match self.registry.current_index() {
+            Some(index) => {
+                if let Err(job) = self.registry.push_local(index, job) {
+                    // Deque full: run inline; unwind-safety is inside
+                    // the closure.
+                    unsafe { job.execute() };
+                }
+            }
+            None => self.registry.inject(job),
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn task_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.done_mutex.lock().unwrap();
+            self.done_cond.notify_all();
+        }
+    }
+
+    /// Block until every spawned task has finished. On a worker this is
+    /// a work-stealing wait (executing pending tasks, including this
+    /// scope's own); externally it parks on the scope's condvar.
+    fn wait_all(&self) {
+        // Release the scope body's virtual token.
+        self.task_done();
+        match self.registry.current_index() {
+            Some(index) => {
+                let mut idle_spins = 0u32;
+                while self.pending.load(Ordering::SeqCst) > 0 {
+                    if let Some(job) = self.registry.find_work(index) {
+                        unsafe { job.execute() };
+                        idle_spins = 0;
+                    } else if idle_spins < 32 {
+                        idle_spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            None => {
+                let mut guard = self.done_mutex.lock().unwrap();
+                while self.pending.load(Ordering::SeqCst) > 0 {
+                    let (g, _) = self
+                        .done_cond
+                        .wait_timeout(guard, Duration::from_millis(10))
+                        .unwrap();
+                    guard = g;
+                }
+            }
+        }
+    }
+}
+
+/// Structured task scope: every task spawned inside completes before
+/// `scope` returns; task panics propagate to the caller. Runs on the
+/// current pool, migrating onto the global pool when called from a
+/// non-worker thread.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let worker = WORKER.with(|w| w.get());
+    match worker {
+        Some((addr, _)) => {
+            let registry = unsafe { &*(addr as *const Registry) };
+            // Re-arc through the worker's registry address. Safety: the
+            // registry outlives its workers, and we are on one.
+            let registry = unsafe {
+                Arc::increment_strong_count(registry as *const Registry);
+                Arc::from_raw(registry as *const Registry)
+            };
+            scope_on(registry, op)
+        }
+        None => global_pool().install(|| scope(op)),
+    }
+}
+
+fn scope_on<'scope, OP, R>(registry: Arc<Registry>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope::new(registry);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // The scope body's borrows end before wait_all, and every spawned
+    // task finishes inside it — even when the body panicked.
+    s.wait_all();
+    match result {
+        Ok(r) => {
+            if let Some(payload) = s.panic.lock().unwrap().take() {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Fire-and-forget task on the current (or global) pool. The closure
+/// must be `'static`; a panic inside is caught and reported to stderr
+/// rather than taking the worker down.
+pub fn spawn<F>(body: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let job = HeapJob::into_job_ref(move || {
+        if panic::catch_unwind(AssertUnwindSafe(body)).is_err() {
+            eprintln!("fmm-runtime: detached task panicked (ignored)");
+        }
+    });
+    let worker = WORKER.with(|w| w.get());
+    match worker {
+        Some((addr, index)) => {
+            let registry = unsafe { &*(addr as *const Registry) };
+            if let Err(job) = registry.push_local(index, job) {
+                unsafe { job.execute() };
+            }
+        }
+        None => global_pool().registry.inject(job),
+    }
+}

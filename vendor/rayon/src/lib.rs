@@ -1,253 +1,43 @@
 //! Offline stand-in for the parts of `rayon` this workspace uses:
-//! [`join`], [`scope`], [`current_num_threads`], and
-//! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
+//! [`join`], [`scope`], [`spawn`], [`current_num_threads`], and
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`], plus the
+//! `par_chunks[_mut]` slice iterators in [`prelude`].
 //!
-//! The build container has no crates.io access, so instead of a
-//! work-stealing deque this maps tasks onto `std::thread::scope`
-//! threads, capped by a global live-thread counter: once the cap is
-//! reached, `join`/`spawn` degrade to sequential calls. That preserves
-//! rayon's semantics (panic propagation, scoped borrows, nesting) and
-//! gives real parallelism on the coarse outer levels where it matters,
-//! without the risk of unbounded thread explosions from fine-grained
-//! recursive joins.
+//! The build container has no crates.io access, so this crate is a thin
+//! facade over the in-tree work-stealing scheduler
+//! [`fmm_runtime`](../fmm_runtime/index.html): per-worker Chase–Lev
+//! deques, a global injector, parked idle workers, and work-stealing
+//! `join`/`scope` waits — real rayon semantics (panic propagation,
+//! scoped borrows, nesting, pool `install`) on a real scheduler.
 //!
-//! `ThreadPool::install` does not own threads; it sets a thread-local
-//! override consulted by [`current_num_threads`] so callers that shape
-//! their splits from the advertised width behave as if inside a pool of
-//! that size, and clamps the spawn cap accordingly.
-
-use std::cell::Cell;
-use std::panic;
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! The code in this workspace is written against the published rayon
+//! 1.x API, so **switching to the real rayon** on a networked machine
+//! remains the documented one-line swap: replace the
+//! `rayon = { path = "vendor/rayon" }` workspace dependency with
+//! `rayon = "1"` and drop the vendor member. (The scheduler statistics
+//! that go beyond rayon's API — steal counters, worker indices — are
+//! deliberately *not* exported here; `fmm-core` reads them from
+//! `fmm-runtime` directly so this facade stays swap-compatible.)
 
 pub mod prelude;
 
-/// Live helper threads spawned by `join`/`scope` across the process.
-static LIVE_THREADS: AtomicUsize = AtomicUsize::new(0);
-
-thread_local! {
-    /// Pool-width override installed by [`ThreadPool::install`].
-    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Advertised parallelism: the installed pool width, or the hardware
-/// thread count outside any pool.
-pub fn current_num_threads() -> usize {
-    POOL_WIDTH
-        .with(|w| w.get())
-        .unwrap_or_else(hardware_threads)
-}
-
-/// Extra threads this call site may spawn right now. Inside a pool of
-/// width 1 this is 0, which makes `join`/`spawn` fully sequential.
-fn spawn_budget() -> usize {
-    let cap = current_num_threads().saturating_sub(1);
-    cap.saturating_sub(LIVE_THREADS.load(Ordering::Relaxed))
-}
-
-/// Increments `LIVE_THREADS` for its lifetime; the `Drop` impl makes
-/// the decrement unwind-safe, so a panicking task cannot permanently
-/// shrink the process-wide spawn budget.
-struct LiveThreadGuard;
-
-impl LiveThreadGuard {
-    fn acquire() -> Self {
-        LIVE_THREADS.fetch_add(1, Ordering::Relaxed);
-        LiveThreadGuard
-    }
-}
-
-impl Drop for LiveThreadGuard {
-    fn drop(&mut self) {
-        LIVE_THREADS.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Restores the caller's `POOL_WIDTH` override on drop, panic or not.
-struct PoolWidthGuard {
-    prev: Option<usize>,
-}
-
-impl PoolWidthGuard {
-    fn set(width: usize) -> Self {
-        PoolWidthGuard {
-            prev: POOL_WIDTH.with(|w| w.replace(Some(width))),
-        }
-    }
-}
-
-impl Drop for PoolWidthGuard {
-    fn drop(&mut self) {
-        POOL_WIDTH.with(|w| w.set(self.prev));
-    }
-}
-
-/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
-/// results. Panics in either closure propagate to the caller.
-pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    if spawn_budget() == 0 {
-        return (oper_a(), oper_b());
-    }
-    let _live = LiveThreadGuard::acquire();
-    std::thread::scope(|s| {
-        let width = current_num_threads();
-        let handle = s.spawn(move || {
-            // Child threads inherit the caller's pool width so nested
-            // width-sensitive splits stay consistent.
-            POOL_WIDTH.with(|w| w.set(Some(width)));
-            oper_b()
-        });
-        let ra = oper_a();
-        let rb = match handle.join() {
-            Ok(rb) => rb,
-            Err(payload) => panic::resume_unwind(payload),
-        };
-        (ra, rb)
-    })
-}
-
-/// Scope handle passed to [`scope`] closures; `spawn` schedules a task
-/// that must finish before `scope` returns.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-    width: usize,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Run `body` on a scoped thread when under the cap, inline
-    /// otherwise.
-    pub fn spawn<F>(&self, body: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        if spawn_budget() == 0 {
-            body(self);
-            return;
-        }
-        LIVE_THREADS.fetch_add(1, Ordering::Relaxed);
-        let inner = self.inner;
-        let width = self.width;
-        inner.spawn(move || {
-            // Adopt the increment done by the spawning thread; drops
-            // (and decrements) even if `body` panics.
-            let _live = LiveThreadGuard;
-            POOL_WIDTH.with(|w| w.set(Some(width)));
-            body(&Scope { inner, width });
-        });
-    }
-}
-
-/// Structured task scope: every task spawned inside completes before
-/// `scope` returns; task panics propagate.
-pub fn scope<'env, F, R>(f: F) -> R
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
-    R: Send,
-{
-    let width = current_num_threads();
-    std::thread::scope(|s| f(&Scope { inner: s, width }))
-}
-
-/// Error from [`ThreadPoolBuilder::build`] (never produced here, but
-/// callers `unwrap`/`expect` it).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError(());
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: Option<usize>,
-}
-
-impl ThreadPoolBuilder {
-    /// Fresh builder with default (hardware) width.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Pin the pool width; `0` means "default", as in rayon.
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = if n == 0 { None } else { Some(n) };
-        self
-    }
-
-    /// Build the (virtual) pool.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            width: self.num_threads.unwrap_or_else(hardware_threads),
-        })
-    }
-}
-
-/// A virtual pool: a width that [`install`](ThreadPool::install) makes
-/// visible through [`current_num_threads`] for the duration of a call.
-#[derive(Debug)]
-pub struct ThreadPool {
-    width: usize,
-}
-
-impl ThreadPool {
-    /// Run `op` with this pool's width advertised to
-    /// `current_num_threads` and the spawn cap.
-    pub fn install<OP, R>(&self, op: OP) -> R
-    where
-        OP: FnOnce() -> R + Send,
-        R: Send,
-    {
-        let _width = PoolWidthGuard::set(self.width);
-        op()
-    }
-
-    /// This pool's width.
-    pub fn current_num_threads(&self) -> usize {
-        self.width
-    }
-}
+pub use fmm_runtime::{
+    current_num_threads, join, scope, spawn, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
-    use std::sync::{Mutex, MutexGuard};
-
-    /// `LIVE_THREADS` is process-global, so tests that spawn tasks or
-    /// assert on the counter must not interleave with each other.
-    static SERIAL: Mutex<()> = Mutex::new(());
-
-    fn serial() -> MutexGuard<'static, ()> {
-        // A `should_panic` test poisons the lock by design; the data
-        // is `()`, so poisoning carries no state worth rejecting.
-        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
-    }
 
     #[test]
     fn join_returns_both_results() {
-        let _serial = serial();
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!((a, b), (2, "two"));
     }
 
     #[test]
     fn nested_joins_do_not_explode() {
-        let _serial = serial();
         fn fib(n: u64) -> u64 {
             if n < 2 {
                 return n;
@@ -260,7 +50,7 @@ mod tests {
 
     #[test]
     fn scope_runs_every_task() {
-        let _serial = serial();
+        use std::sync::atomic::{AtomicU32, Ordering};
         let counter = AtomicU32::new(0);
         scope(|s| {
             for _ in 0..32 {
@@ -275,26 +65,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn join_propagates_panics() {
-        let _serial = serial();
         join(|| (), || panic!("boom"));
-    }
-
-    #[test]
-    fn panicking_join_releases_spawn_budget() {
-        let _serial = serial();
-        let before = LIVE_THREADS.load(Ordering::Relaxed);
-        let _ = std::panic::catch_unwind(|| join(|| (), || panic!("boom")));
-        assert_eq!(LIVE_THREADS.load(Ordering::Relaxed), before);
-    }
-
-    #[test]
-    fn panicking_install_restores_width() {
-        let outside = current_num_threads();
-        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
-        let _ = std::panic::catch_unwind(|| {
-            pool.install(|| -> () { panic!("boom") });
-        });
-        assert_eq!(current_num_threads(), outside);
     }
 
     #[test]
@@ -305,15 +76,19 @@ mod tests {
     }
 
     #[test]
-    fn width_one_pool_is_sequential() {
-        let _serial = serial();
+    fn panicking_install_propagates_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> () { panic!("boom") });
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn width_one_pool_runs_joins_sequentially_correct() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        pool.install(|| {
-            let before = LIVE_THREADS.load(Ordering::Relaxed);
-            join(
-                || assert_eq!(LIVE_THREADS.load(Ordering::Relaxed), before),
-                || (),
-            );
-        });
+        let (a, b) = pool.install(|| join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
     }
 }

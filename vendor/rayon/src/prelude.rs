@@ -1,31 +1,8 @@
-//! Parallel-iterator subset: `par_chunks` / `par_chunks_mut`.
-//!
-//! These return the standard sequential chunk iterators, so `.zip`,
-//! `.for_each` and friends come from `std::iter::Iterator`. Work is
-//! therefore *not* spread across threads on this path — acceptable for
-//! the one bandwidth microbenchmark that uses it; revisit if a hot path
-//! ever adopts `par_chunks`.
+//! Parallel-iterator subset: `par_chunks` / `par_chunks_mut` with
+//! `zip` and `for_each`, backed by `fmm_runtime::iter`'s recursive
+//! splitting (work actually spreads across the pool, unlike the old
+//! sequential stand-in).
 
-/// `par_chunks` for shared slices.
-pub trait ParallelSlice<T> {
-    /// Chunked view of the slice, `chunk_size` elements per chunk.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
-    }
-}
-
-/// `par_chunks_mut` for mutable slices.
-pub trait ParallelSliceMut<T> {
-    /// Chunked mutable view of the slice.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
-    }
-}
+pub use fmm_runtime::iter::{
+    IndexedParallelIterator, ParChunks, ParChunksMut, ParallelSlice, ParallelSliceMut, Zip,
+};
