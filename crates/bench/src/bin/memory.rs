@@ -4,7 +4,7 @@
 //! node's 64 GB; this harness shows the growth law.)
 
 use fmm_bench::*;
-use fmm_core::{Planner, Workspace};
+use fmm_core::FmmEngine;
 use fmm_matrix::Matrix;
 
 fn main() {
@@ -18,14 +18,17 @@ fn main() {
         let (a, b) = workload(n, n, n, 1);
         let mut c = Matrix::zeros(n, n);
         for steps in 1..=2usize {
-            let plan = Planner::new()
-                .shape(n, n, n)
+            // One sequential engine per (algorithm, depth) — both are
+            // engine-level configuration in this ablation — whose
+            // single serve returns the snapshot carrying the measured
+            // temporary footprint.
+            let engine = FmmEngine::builder()
+                .threads(1)
                 .algorithm(&alg.dec)
                 .steps(steps)
-                .plan()
-                .expect("complete configuration");
-            let mut ws = Workspace::for_plan(&plan);
-            let stats = plan.execute_with_stats(&a, &b, &mut c, &mut ws);
+                .build()
+                .expect("engine");
+            let stats = engine.multiply_with_stats(&a, &b, &mut c).expect("serve");
             let temp_mb = stats.temp_elements as f64 * 8.0 / 1e6;
             let ws_mb = stats.workspace_bytes as f64 / 1e6;
             // Geometric model: Σ_l (R/(M·N))^l · |C| for the M_r alone.

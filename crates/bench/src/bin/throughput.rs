@@ -1,0 +1,151 @@
+//! Engine throughput: one long-lived [`fmm_core::FmmEngine`] serving a
+//! mixed-shape request stream from 1..=P client OS threads.
+//!
+//! This is the serving benchmark behind the ROADMAP's "batched/streamed
+//! multiply API" item: clients hammer the same engine, plans come from
+//! the LRU cache, workspaces from the pool, and the binary reports
+//! sustained multiplies/sec plus p50/p99 request latency per client
+//! count — the numbers a capacity plan needs.
+//!
+//! The engine pool width follows `FMM_THREADS` (or the hardware);
+//! `--threads 1,4` sets the *client* counts to sweep. `--json PATH`
+//! writes per-shape `Measurement` rows that `summarize` can digest.
+
+use fmm_bench::*;
+use fmm_core::FmmEngine;
+use fmm_matrix::Matrix;
+use std::time::Instant;
+
+/// `(p50, p99)` of a latency sample, in seconds.
+fn percentiles(latencies: &mut [f64]) -> (f64, f64) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| latencies[((latencies.len() as f64 * q) as usize).min(latencies.len() - 1)];
+    (pick(0.50), pick(0.99))
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let shapes: &[(usize, usize, usize)] = if cfg.quick {
+        &[(96, 96, 96), (64, 128, 64), (128, 64, 32), (100, 100, 100)]
+    } else {
+        &[
+            (256, 256, 256),
+            (192, 384, 192),
+            (384, 192, 96),
+            (300, 300, 300),
+        ]
+    };
+    let requests_per_client = if cfg.quick { 24 } else { 64 };
+
+    let engine = FmmEngine::builder().build().expect("engine");
+    let problems: Vec<(Matrix, Matrix)> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q, r))| workload(p, q, r, 42 + i as u64))
+        .collect();
+
+    // Warm-up: populate the plan cache and size one pooled workspace
+    // per shape, so the measured region is the steady serving state.
+    for (a, b) in &problems {
+        engine.multiply(a, b).expect("warm-up multiply");
+    }
+
+    println!("clients,engine_threads,requests,total_s,mps,p50_ms,p99_ms");
+    let mut rows: Vec<Measurement> = Vec::new();
+    for &clients in &cfg.thread_counts {
+        let clients = clients.max(1);
+        let t0 = Instant::now();
+        // (shape index, seconds) per request, gathered across clients.
+        let samples: Vec<(usize, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    let engine = engine.clone();
+                    let problems = &problems;
+                    scope.spawn(move || {
+                        let mut local = Vec::with_capacity(requests_per_client);
+                        for req in 0..requests_per_client {
+                            // Stagger clients across shapes so the
+                            // stream stays mixed at every instant.
+                            let idx = (client + req) % problems.len();
+                            let (a, b) = &problems[idx];
+                            let t = Instant::now();
+                            let c = engine.multiply(a, b).expect("serve");
+                            std::hint::black_box(&c);
+                            local.push((idx, t.elapsed().as_secs_f64()));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let total = t0.elapsed().as_secs_f64();
+        let mut latencies: Vec<f64> = samples.iter().map(|&(_, s)| s).collect();
+        let (p50, p99) = percentiles(&mut latencies);
+        let mps = samples.len() as f64 / total;
+        println!(
+            "{clients},{},{},{total:.3},{mps:.1},{:.3},{:.3}",
+            engine.threads(),
+            samples.len(),
+            p50 * 1e3,
+            p99 * 1e3
+        );
+        // One summarize-compatible row per shape: mean latency as the
+        // per-request time, at this client count.
+        for (idx, &(p, q, r)) in shapes.iter().enumerate() {
+            let shape_lat: Vec<f64> = samples
+                .iter()
+                .filter(|&&(i, _)| i == idx)
+                .map(|&(_, s)| s)
+                .collect();
+            if shape_lat.is_empty() {
+                continue;
+            }
+            let mean = shape_lat.iter().sum::<f64>() / shape_lat.len() as f64;
+            rows.push(Measurement {
+                experiment: "throughput".into(),
+                algorithm: format!("engine(x{})", engine.threads()),
+                p,
+                q,
+                r,
+                threads: clients,
+                steps: 0,
+                seconds: mean,
+                effective_gflops: fmm_gemm::effective_gflops(p, q, r, mean),
+            });
+        }
+    }
+
+    // Exercise the async path too: submit the whole mixed-shape batch
+    // at once and join the handles.
+    let t0 = Instant::now();
+    let handles = engine.submit_batch(problems.clone());
+    for handle in handles {
+        handle.wait().expect("batch result");
+    }
+    eprintln!(
+        "submit_batch of {} mixed-shape products joined in {:.3}s",
+        problems.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let stats = engine.stats();
+    eprintln!(
+        "engine stats: {} multiplies, cache {}/{} hit/miss, workspaces {} created / {} reused / {} pooled, {} steals",
+        stats.multiplies,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.workspaces_created,
+        stats.workspaces_reused,
+        stats.workspaces_pooled,
+        stats.tasks_stolen
+    );
+    if let Some(path) = &cfg.json_out {
+        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

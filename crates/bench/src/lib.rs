@@ -13,6 +13,8 @@ use fmm_tensor::Decomposition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Command-line configuration shared by all harness binaries.
@@ -72,12 +74,24 @@ pub fn num_threads_available() -> usize {
     std::thread::available_parallelism().map_or(2, |n| n.get())
 }
 
-/// Build a rayon pool with exactly `threads` threads.
-pub fn pool(threads: usize) -> rayon::ThreadPool {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
+/// A rayon pool with exactly `threads` threads, memoized per width for
+/// the whole process: the fig/table binaries call this once per
+/// measurement, and spinning worker threads up (and tearing them down)
+/// inside a sweep both wastes time and — when the caller times around
+/// the `install` — pollutes the measured region. Every caller of the
+/// same width shares one long-lived pool.
+pub fn pool(threads: usize) -> Arc<rayon::ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut by_width = pools.lock().unwrap();
+    Arc::clone(by_width.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool"),
+        )
+    }))
 }
 
 /// Median wall-clock seconds over `trials` runs of `f`.
@@ -330,6 +344,20 @@ mod tests {
         };
         assert_eq!(m.csv_row().split(',').count(), 9);
         assert_eq!(Measurement::csv_header().split(',').count(), 9);
+    }
+
+    #[test]
+    fn pool_is_memoized_per_width() {
+        let first = pool(2);
+        let second = pool(2);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same width must share one pool"
+        );
+        assert_eq!(first.current_num_threads(), 2);
+        let other = pool(3);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(other.current_num_threads(), 3);
     }
 
     #[test]

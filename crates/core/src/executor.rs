@@ -36,7 +36,7 @@ use fmm_matrix::{MatMut, MatRef, Matrix};
 use fmm_tensor::Decomposition;
 
 /// How the bandwidth-bound addition chains are evaluated (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AdditionMethod {
     /// One `daxpy`-style pass per chain term.
     Pairwise,
@@ -54,7 +54,7 @@ pub enum AdditionMethod {
 /// The paper chooses dynamic peeling to limit memory and keep code
 /// generation simple; padding is the classical alternative it compares
 /// against in the discussion, implemented here for the ablation bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BorderHandling {
     /// Fix up remainder strips with thin classical products at every
     /// recursion level (the paper's choice).
@@ -67,7 +67,7 @@ pub enum BorderHandling {
 }
 
 /// Shared-memory parallelization scheme (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scheme {
     /// Single-threaded recursion, sequential base-case gemm.
     #[default]
@@ -97,7 +97,10 @@ impl Scheme {
 }
 
 /// Executor configuration.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Eq`/`Hash` make a whole configuration usable as a cache key, which
+/// is how [`crate::FmmEngine`] indexes its plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Options {
     /// Recursion depth (`steps` in the paper).
     ///

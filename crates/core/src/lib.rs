@@ -66,6 +66,19 @@
 //! }
 //! ```
 //!
+//! # Serve many: the engine
+//!
+//! On top of plan/execute sits [`FmmEngine`] ([`engine`]), the
+//! concurrent multiply *service*: a long-lived object owning an
+//! `fmm-runtime` thread pool, a bounded LRU plan cache (auto-planning
+//! via `fmm_algo::candidates_for_shape` on a miss) and a workspace pool
+//! that checks arenas in and out, so steady-state serving allocates
+//! nothing. [`FmmEngine::multiply`] is the synchronous call,
+//! [`FmmEngine::submit`] hands back a [`MultiplyHandle`] that joins a
+//! detached pool job (with work-stealing help when the waiter is a pool
+//! thread), and [`FmmEngine::submit_batch`] fans out mixed-shape
+//! streams — the front door a server hands its request threads.
+//!
 //! [`FastMul`] remains as the low-level, shape-agnostic path (one
 //! right-sized workspace allocation per call) for callers that multiply
 //! each shape once.
@@ -73,6 +86,7 @@
 mod accuracy;
 pub mod codegen;
 pub mod cutoff;
+pub mod engine;
 mod executor;
 pub mod plan;
 mod planner;
@@ -81,6 +95,7 @@ mod workspace;
 pub use accuracy::{forward_error, max_rel_error_vs_classical};
 pub use codegen::generate_rust;
 pub use cutoff::GemmProfile;
+pub use engine::{EngineBuilder, EngineError, EngineStats, FmmEngine, MultiplyHandle};
 pub use executor::{
     AdditionMethod, BorderHandling, ExecStats, ExecStatsSnapshot, FastMul, Options, Scheme,
 };

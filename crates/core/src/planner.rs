@@ -123,6 +123,7 @@ impl Default for Planner {
 impl Planner {
     /// A planner with the executor defaults (write-once additions,
     /// sequential scheme, dynamic peeling, no CSE).
+    #[must_use]
     pub fn new() -> Self {
         Planner {
             shape: None,
@@ -139,6 +140,7 @@ impl Planner {
 
     /// Problem shape `C(m×n) = A(m×k) · B(k×n)`. Mandatory: the plan's
     /// workspace footprint is exact for this shape.
+    #[must_use]
     pub fn shape(mut self, m: usize, k: usize, n: usize) -> Self {
         self.shape = Some((m, k, n));
         self
@@ -148,6 +150,7 @@ impl Planner {
     /// [`Planner::steps`] when set, otherwise from
     /// [`GemmProfile::recommended_steps`] when a profile is present,
     /// otherwise 1.
+    #[must_use]
     pub fn algorithm(mut self, dec: &Decomposition) -> Self {
         self.alg = AlgChoice::Single(dec.clone());
         self
@@ -155,6 +158,7 @@ impl Planner {
 
     /// Use a composed schedule: one decomposition per recursion level
     /// (§5.2). The schedule length is the depth.
+    #[must_use]
     pub fn schedule(mut self, schedule: &[&Decomposition]) -> Self {
         self.alg = AlgChoice::Schedule(schedule.iter().map(|d| (*d).clone()).collect());
         self
@@ -168,6 +172,7 @@ impl Planner {
     /// to full depth while the classical algorithm (zero speedup) plans
     /// depth 0. Use `fmm_algo::candidates_for_shape` to get a
     /// shape-ranked candidate list from the catalog.
+    #[must_use]
     pub fn auto_algorithm(mut self, candidates: &[Decomposition]) -> Self {
         self.alg = AlgChoice::Auto(candidates.to_vec());
         self
@@ -175,6 +180,7 @@ impl Planner {
 
     /// Replay a measured (or saved — see [`GemmProfile::from_json`])
     /// machine profile; drives the §3.4 depth rule and auto-selection.
+    #[must_use]
     pub fn profile(mut self, profile: GemmProfile) -> Self {
         self.profile = Some(profile);
         self
@@ -183,24 +189,28 @@ impl Planner {
     /// Explicit recursion depth, overriding the profile-recommended
     /// depth. With [`Planner::schedule`] it must be 0 or equal to the
     /// schedule length.
+    #[must_use]
     pub fn steps(mut self, steps: usize) -> Self {
         self.steps = Some(steps);
         self
     }
 
     /// Cap on the profile-recommended recursion depth (default 4).
+    #[must_use]
     pub fn max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;
         self
     }
 
     /// Addition-chain evaluation strategy (§3.2).
+    #[must_use]
     pub fn additions(mut self, additions: AdditionMethod) -> Self {
         self.additions = additions;
         self
     }
 
     /// Greedy length-2 common subexpression elimination (§3.3).
+    #[must_use]
     pub fn cse(mut self, cse: bool) -> Self {
         self.cse = cse;
         self
@@ -209,12 +219,14 @@ impl Planner {
     /// Parallel scheme (§4). BFS/HYBRID plans reserve disjoint
     /// workspace for every concurrent task, making the §4.2 memory
     /// factor visible in [`Plan::workspace_len`].
+    #[must_use]
     pub fn scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
         self
     }
 
     /// Remainder handling for non-divisible dimensions (§3.5).
+    #[must_use]
     pub fn border(mut self, border: BorderHandling) -> Self {
         self.border = border;
         self
@@ -223,6 +235,7 @@ impl Planner {
     /// Absorb the strategy fields of an executor [`Options`]
     /// (additions, cse, scheme, border). `steps` is deliberately *not*
     /// copied — set it via [`Planner::steps`] or let the profile decide.
+    #[must_use]
     pub fn options(mut self, opts: Options) -> Self {
         self.additions = opts.additions;
         self.cse = opts.cse;

@@ -44,8 +44,8 @@ mod job;
 mod registry;
 
 pub use registry::{
-    current_num_threads, default_num_threads, join, scope, spawn, steal_count, worker_index, Scope,
-    ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, THREADS_ENV,
+    current_num_threads, default_num_threads, join, scope, spawn, steal_count, worker_index,
+    JobHandle, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, THREADS_ENV,
 };
 
 #[cfg(test)]
@@ -252,6 +252,102 @@ mod tests {
         });
         assert_eq!(v, "body result");
         assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn spawn_handle_returns_the_job_result() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let handle = pool.spawn(|| {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert_eq!(handle.wait(), 499_500);
+    }
+
+    #[test]
+    fn spawn_handle_is_done_flips_after_completion() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let handle = pool.spawn(|| 7);
+        // Drain the pool with a barrier job so the spawned job must
+        // have run before we probe.
+        pool.install(|| ());
+        assert!(handle.is_done());
+        assert_eq!(handle.wait(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "handle boom")]
+    fn spawn_handle_wait_rethrows_the_job_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let handle = pool.spawn(|| -> () { panic!("handle boom") });
+        handle.wait();
+    }
+
+    #[test]
+    fn spawn_handle_panic_does_not_poison_the_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let handle = pool.spawn(|| -> u32 { panic!("die") });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn waiting_on_a_handle_from_a_pool_worker_helps_instead_of_blocking() {
+        // One worker: if the waiting worker blocked instead of
+        // executing queued jobs, this would deadlock (the handle's job
+        // can only run on the thread doing the waiting).
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = std::sync::Arc::new(pool);
+        let inner = std::sync::Arc::clone(&pool);
+        let outer = pool.spawn(move || {
+            let h = inner.spawn(|| 21);
+            h.wait() * 2
+        });
+        assert_eq!(outer.wait(), 42);
+    }
+
+    #[test]
+    fn dropped_handles_still_run_their_jobs() {
+        use std::sync::mpsc;
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            drop(pool.spawn(move || tx.send(i).unwrap()));
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_dropped_from_its_own_worker_detaches_instead_of_self_joining() {
+        // A detached job owning the last Arc of its own pool: when the
+        // job finishes, the pool drops on the worker executing it. The
+        // drop must not try to join that worker (self-join errors and
+        // would poison the job); the handle must still deliver.
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(2).build().unwrap());
+        let inner = std::sync::Arc::clone(&pool);
+        let handle = pool.spawn(move || {
+            drop(inner);
+            5
+        });
+        drop(pool); // whichever side drops last frees the pool
+        assert_eq!(handle.wait(), 5);
+    }
+
+    #[test]
+    fn many_concurrent_handles_complete_with_correct_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let handles: Vec<_> = (0..64u64).map(|i| pool.spawn(move || i * i)).collect();
+        let got: Vec<u64> = handles.into_iter().map(|h| h.wait()).collect();
+        let want: Vec<u64> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

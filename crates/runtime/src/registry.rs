@@ -211,8 +211,16 @@ impl Registry {
     /// Work-stealing wait: keep the CPU busy with other jobs until the
     /// latch fires. Only callable on a worker of this registry.
     fn wait_until(&self, index: usize, latch: &SpinLatch) {
+        self.wait_while(index, || !latch.probe());
+    }
+
+    /// The work-stealing wait discipline shared by every blocked
+    /// worker-side wait (`join` latches, [`JobHandle::wait`]): execute
+    /// other jobs while `probe` holds, spinning briefly then yielding
+    /// when none exist. Only callable on a worker of this registry.
+    fn wait_while(&self, index: usize, probe: impl Fn() -> bool) {
         let mut idle_spins = 0u32;
-        while !latch.probe() {
+        while probe() {
             if let Some(job) = self.find_work(index) {
                 unsafe { job.execute() };
                 idle_spins = 0;
@@ -220,8 +228,9 @@ impl Registry {
                 idle_spins += 1;
                 std::hint::spin_loop();
             } else {
-                // Let the thief that holds our job run (essential on
-                // machines with fewer cores than workers).
+                // Let the thread that holds our awaited work run
+                // (essential on machines with fewer cores than
+                // workers).
                 std::thread::yield_now();
             }
         }
@@ -356,13 +365,134 @@ impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
         self.registry.width
     }
+
+    /// Detached spawn with a completion latch: schedule `op` onto this
+    /// pool and return immediately with a [`JobHandle`] that
+    /// [`JobHandle::wait`] later joins on. Called from a worker of this
+    /// pool, the job goes to that worker's deque (cheap, stealable);
+    /// from any other thread it goes through the injector.
+    ///
+    /// Unlike [`join`]/[`scope`], the closure must be `'static`: the
+    /// spawning frame does not block, so the job can outlive it.
+    pub fn spawn<F, T>(&self, op: F) -> JobHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let state = Arc::new(HandleState {
+            result: Mutex::new(None),
+            cond: Condvar::new(),
+            done: AtomicBool::new(false),
+        });
+        let job_state = Arc::clone(&state);
+        let job = HeapJob::into_job_ref(move || {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(op));
+            let mut slot = job_state.result.lock().unwrap();
+            *slot = Some(outcome);
+            // Publish under the lock, before notify: an external waiter
+            // holding the lock either sees the result or reaches the
+            // condvar before this notify fires.
+            job_state.done.store(true, Ordering::Release);
+            job_state.cond.notify_all();
+        });
+        match self.registry.current_index() {
+            Some(index) => {
+                if let Err(job) = self.registry.push_local(index, job) {
+                    // Deque full (pathological fan-out): run inline.
+                    unsafe { job.execute() };
+                }
+            }
+            None => self.registry.inject(job),
+        }
+        JobHandle {
+            state,
+            registry: Arc::clone(&self.registry),
+        }
+    }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.registry.terminate();
+        let myself = std::thread::current().id();
         for handle in self.handles.drain(..) {
+            // The pool can die *on one of its own workers*: a detached
+            // job may own the last handle to a structure containing the
+            // pool (e.g. an engine dropped while a submit is in
+            // flight). Joining ourselves would error ("resource
+            // deadlock avoided") and panic inside the job; detach
+            // instead — this worker exits its loop normally once the
+            // terminating registry drains.
+            if handle.thread().id() == myself {
+                continue;
+            }
             let _ = handle.join();
+        }
+    }
+}
+
+/// Completion state shared between a detached [`ThreadPool::spawn`] job
+/// and its [`JobHandle`]. The `result` mutex doubles as the condvar
+/// mutex for external waiters, so the store-then-notify in the job and
+/// the check-then-wait in the handle can never miss each other.
+struct HandleState<T> {
+    result: Mutex<Option<std::thread::Result<T>>>,
+    cond: Condvar,
+    done: AtomicBool,
+}
+
+/// Completion latch of a detached [`ThreadPool::spawn`] job.
+///
+/// [`JobHandle::wait`] joins the job and returns its result (rethrowing
+/// its panic, as `join` does). A waiter that is itself a worker of the
+/// spawning pool does not block: it executes other pool jobs until the
+/// latch fires — the same work-stealing wait `join`/`scope` use — so a
+/// pool thread can submit work to its own pool and wait on it without
+/// deadlock. External threads park on a condvar.
+///
+/// Dropping the handle without waiting detaches the job; it still runs.
+///
+/// This goes beyond the rayon API surface (rayon's `ThreadPool::spawn`
+/// returns nothing); like [`steal_count`]/[`worker_index`], callers that
+/// need it should depend on `fmm-runtime` directly rather than on the
+/// `vendor/rayon` facade.
+pub struct JobHandle<T> {
+    state: Arc<HandleState<T>>,
+    registry: Arc<Registry>,
+}
+
+impl<T: Send + 'static> JobHandle<T> {
+    /// Has the job finished (successfully or by panicking)?
+    pub fn is_done(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    /// Block until the job completes and return its result, rethrowing
+    /// the job's panic if it had one. On a worker of the spawning pool
+    /// this is the same work-stealing wait `join`/`scope` use: the
+    /// caller executes other pool jobs, spinning then yielding when
+    /// none exist (yields hand the core to whichever thread runs the
+    /// awaited job on oversubscribed machines). External threads park
+    /// on the handle's condvar.
+    pub fn wait(self) -> T {
+        if let Some(index) = self.registry.current_index() {
+            self.registry.wait_while(index, || !self.is_done());
+        } else {
+            let mut guard = self.state.result.lock().unwrap();
+            while guard.is_none() {
+                guard = self.state.cond.wait(guard).unwrap();
+            }
+        }
+        let outcome = self
+            .state
+            .result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("JobHandle latch fired without a result");
+        match outcome {
+            Ok(value) => value,
+            Err(payload) => panic::resume_unwind(payload),
         }
     }
 }

@@ -58,9 +58,42 @@
 //!
 //! [`core::FastMul`] remains the low-level shape-agnostic path (it
 //! sizes and allocates one workspace per call) for one-shot multiplies.
+//!
+//! # Serving: the engine
+//!
+//! For long-lived processes that multiply *many* shapes from many
+//! threads, [`FmmEngine`] wraps the whole lifecycle — a work-stealing
+//! thread pool, an LRU plan cache that auto-plans new shapes from the
+//! catalog, and a workspace pool, so steady-state serving allocates
+//! nothing. Submit synchronously or get a handle back:
+//!
+//! ```
+//! use fast_matmul::FmmEngine;
+//! use fast_matmul::matrix::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let engine = FmmEngine::builder().threads(2).build().unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = Matrix::random(96, 96, &mut rng);
+//! let b = Matrix::random(96, 96, &mut rng);
+//!
+//! let c = engine.multiply(&a, &b).unwrap();          // sync
+//! let handle = engine.submit(a.clone(), b.clone());  // async
+//! assert_eq!(handle.wait().unwrap(), c);
+//! assert_eq!(engine.stats().plan_cache_hits, 1);
+//! ```
+//!
+//! The high-level types are re-exported at the root — `use
+//! fast_matmul::{FmmEngine, Planner, Plan, Workspace, Options}` — so
+//! typical users never need the `fast_matmul::core::...` paths.
 pub use fmm_algo as algo;
 pub use fmm_core as core;
 pub use fmm_gemm as gemm;
 pub use fmm_matrix as matrix;
 pub use fmm_search as search;
 pub use fmm_tensor as tensor;
+
+pub use fmm_core::{
+    EngineBuilder, EngineError, EngineStats, FastMul, FmmEngine, GemmProfile, MultiplyHandle,
+    Options, Plan, PlanError, Planner, Workspace,
+};
