@@ -1,11 +1,21 @@
 //! Figure 4: DFS vs BFS vs HYBRID parallel schemes on three
 //! representative algorithm/shape pairs, across thread counts.
+//!
+//! `--dtype f32` runs the identical sweep in single precision (rows are
+//! tagged `[f32]` so `summarize` keeps the dtypes apart).
 
 use fmm_bench::*;
-use fmm_core::{Options, Scheme};
+use fmm_core::{GemmScalar, Options, Scheme};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
+    match cfg.dtype {
+        Dtype::F64 => run::<f64>(&cfg),
+        Dtype::F32 => run::<f32>(&cfg),
+    }
+}
+
+fn run<T: GemmScalar>(cfg: &HarnessConfig) {
     let sizes: Vec<usize> = if cfg.quick {
         vec![256, 512, 768]
     } else {
@@ -25,7 +35,7 @@ fn main() {
     let mut rows = Vec::new();
     for &threads in &cfg.thread_counts {
         for &n in &sizes {
-            rows.push(measure_classical(
+            rows.push(measure_classical_in::<T>(
                 "fig4-square",
                 n,
                 n,
@@ -33,10 +43,10 @@ fn main() {
                 threads,
                 cfg.trials,
             ));
-            rows.push(measure_classical(
+            rows.push(measure_classical_in::<T>(
                 "fig4-424", n, k424, n, threads, cfg.trials,
             ));
-            rows.push(measure_classical(
+            rows.push(measure_classical_in::<T>(
                 "fig4-433", n, k433, k433, threads, cfg.trials,
             ));
             for (sname, scheme) in schemes {
@@ -47,7 +57,7 @@ fn main() {
                     scheme,
                     ..Default::default()
                 };
-                rows.push(measure_fast(
+                rows.push(measure_fast_in::<T>(
                     "fig4-square",
                     &format!("strassen {sname}"),
                     &strassen,
@@ -59,7 +69,7 @@ fn main() {
                     opts,
                     cfg.trials,
                 ));
-                rows.push(measure_fast(
+                rows.push(measure_fast_in::<T>(
                     "fig4-424",
                     &format!("<4,2,4> {sname}"),
                     &a424,
@@ -71,7 +81,7 @@ fn main() {
                     opts,
                     cfg.trials,
                 ));
-                rows.push(measure_fast(
+                rows.push(measure_fast_in::<T>(
                     "fig4-433",
                     &format!("<4,3,3> {sname}"),
                     &a433,
@@ -86,5 +96,5 @@ fn main() {
             }
         }
     }
-    emit(&cfg, &rows);
+    emit(cfg, &rows);
 }

@@ -17,6 +17,18 @@ struct Row {
     effective_gflops: f64,
 }
 
+/// Element-type tag of a measurement row: the `[tag]` the measure
+/// helpers append to non-f64 algorithm names, `"f64"` when absent.
+fn dtype_of(algorithm: &str) -> String {
+    algorithm
+        .find('[')
+        .and_then(|open| {
+            let rest = &algorithm[open + 1..];
+            rest.find(']').map(|close| rest[..close].to_string())
+        })
+        .unwrap_or_else(|| "f64".into())
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -29,12 +41,17 @@ fn main() {
         let batch: Vec<Row> = serde_json::from_str(&text).expect("parse json");
         rows.extend(batch);
     }
-    // (experiment, p, q, r, threads) → [(alg, gflops)]
-    type Groups = BTreeMap<(String, usize, usize, usize, usize), Vec<(String, f64)>>;
+    // (experiment, dtype, p, q, r, threads) → [(alg, gflops)]. The
+    // dtype comes from the `[f32]`-style tag the measure helpers append
+    // to non-f64 algorithm names; grouping on it keeps an f32 winner
+    // from being scored against the f64 classical baseline (or vice
+    // versa) when result files of both dtypes are summarized together.
+    type Groups = BTreeMap<(String, String, usize, usize, usize, usize), Vec<(String, f64)>>;
     let mut groups: Groups = BTreeMap::new();
     for row in rows {
+        let dtype = dtype_of(&row.algorithm);
         groups
-            .entry((row.experiment, row.p, row.q, row.r, row.threads))
+            .entry((row.experiment, dtype, row.p, row.q, row.r, row.threads))
             .or_default()
             .push((row.algorithm, row.effective_gflops));
     }
@@ -42,7 +59,7 @@ fn main() {
         "{:<14} {:>22} {:>3}T  {:<22} {:>8}  {:>12}",
         "experiment", "problem", "", "winner", "GFLOPS", "vs classical"
     );
-    for ((exp, p, q, r, threads), algs) in groups {
+    for ((exp, _dtype, p, q, r, threads), algs) in groups {
         let classical = algs
             .iter()
             .find(|(name, _)| name.starts_with("classical"))

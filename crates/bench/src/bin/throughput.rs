@@ -8,12 +8,15 @@
 //! count — the numbers a capacity plan needs.
 //!
 //! The engine pool width follows `FMM_THREADS` (or the hardware);
-//! `--threads 1,4` sets the *client* counts to sweep. `--json PATH`
-//! writes per-shape `Measurement` rows that `summarize` can digest.
+//! `--threads 1,4` sets the *client* counts to sweep. `--dtype f32`
+//! runs the identical stream through an `FmmEngine<f32>` (same seeds,
+//! same shapes) for the f32-vs-f64 serving comparison in
+//! EXPERIMENTS.md. `--json PATH` writes per-shape `Measurement` rows
+//! that `summarize` can digest.
 
 use fmm_bench::*;
-use fmm_core::FmmEngine;
-use fmm_matrix::Matrix;
+use fmm_core::{FmmEngine, GemmScalar};
+use fmm_matrix::DenseMatrix;
 use std::time::Instant;
 
 /// `(p50, p99)` of a latency sample, in seconds.
@@ -25,6 +28,13 @@ fn percentiles(latencies: &mut [f64]) -> (f64, f64) {
 
 fn main() {
     let cfg = HarnessConfig::from_args();
+    match cfg.dtype {
+        Dtype::F64 => run::<f64>(&cfg),
+        Dtype::F32 => run::<f32>(&cfg),
+    }
+}
+
+fn run<T: GemmScalar>(cfg: &HarnessConfig) {
     let shapes: &[(usize, usize, usize)] = if cfg.quick {
         &[(96, 96, 96), (64, 128, 64), (128, 64, 32), (100, 100, 100)]
     } else {
@@ -37,11 +47,11 @@ fn main() {
     };
     let requests_per_client = if cfg.quick { 24 } else { 64 };
 
-    let engine = FmmEngine::builder().build().expect("engine");
-    let problems: Vec<(Matrix, Matrix)> = shapes
+    let engine = FmmEngine::<T>::builder().build().expect("engine");
+    let problems: Vec<(DenseMatrix<T>, DenseMatrix<T>)> = shapes
         .iter()
         .enumerate()
-        .map(|(i, &(p, q, r))| workload(p, q, r, 42 + i as u64))
+        .map(|(i, &(p, q, r))| workload_in::<T>(p, q, r, 42 + i as u64))
         .collect();
 
     // Warm-up: populate the plan cache and size one pooled workspace
@@ -50,7 +60,7 @@ fn main() {
         engine.multiply(a, b).expect("warm-up multiply");
     }
 
-    println!("clients,engine_threads,requests,total_s,mps,p50_ms,p99_ms");
+    println!("dtype,clients,engine_threads,requests,total_s,mps,p50_ms,p99_ms");
     let mut rows: Vec<Measurement> = Vec::new();
     for &clients in &cfg.thread_counts {
         let clients = clients.max(1);
@@ -87,7 +97,8 @@ fn main() {
         let (p50, p99) = percentiles(&mut latencies);
         let mps = samples.len() as f64 / total;
         println!(
-            "{clients},{},{},{total:.3},{mps:.1},{:.3},{:.3}",
+            "{},{clients},{},{},{total:.3},{mps:.1},{:.3},{:.3}",
+            T::NAME,
             engine.threads(),
             samples.len(),
             p50 * 1e3,
@@ -107,7 +118,7 @@ fn main() {
             let mean = shape_lat.iter().sum::<f64>() / shape_lat.len() as f64;
             rows.push(Measurement {
                 experiment: "throughput".into(),
-                algorithm: format!("engine(x{})", engine.threads()),
+                algorithm: format!("engine{}(x{})", dtype_tag::<T>(), engine.threads()),
                 p,
                 q,
                 r,
@@ -134,7 +145,8 @@ fn main() {
 
     let stats = engine.stats();
     eprintln!(
-        "engine stats: {} multiplies, cache {}/{} hit/miss, workspaces {} created / {} reused / {} pooled, {} steals",
+        "engine[{}] stats: {} multiplies, cache {}/{} hit/miss, workspaces {} created / {} reused / {} pooled, {} steals",
+        T::NAME,
         stats.multiplies,
         stats.plan_cache_hits,
         stats.plan_cache_misses,

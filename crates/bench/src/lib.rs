@@ -7,8 +7,8 @@
 //! one, two, or three steps of recursion"), and CSV/JSON emission so
 //! EXPERIMENTS.md can quote results directly.
 
-use fmm_core::{AdditionMethod, Options, Planner, Scheme, Workspace};
-use fmm_matrix::Matrix;
+use fmm_core::{AdditionMethod, GemmScalar, Options, Planner, Scheme, Workspace};
+use fmm_matrix::{DenseMatrix, Matrix, Scalar};
 use fmm_tensor::Decomposition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +16,16 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Element type a harness binary runs its measurements in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dtype {
+    /// Double precision (the historical default).
+    #[default]
+    F64,
+    /// Single precision: half the memory traffic, double SIMD width.
+    F32,
+}
 
 /// Command-line configuration shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -28,11 +38,14 @@ pub struct HarnessConfig {
     pub thread_counts: Vec<usize>,
     /// Optional JSON output path.
     pub json_out: Option<String>,
+    /// Element type to measure in (`--dtype f32|f64`; default f64).
+    pub dtype: Dtype,
 }
 
 impl HarnessConfig {
     /// Parse from `std::env::args`: `--quick` (default), `--full`,
-    /// `--trials T`, `--threads 1,2`, `--json PATH`.
+    /// `--trials T`, `--threads 1,2`, `--json PATH`,
+    /// `--dtype f32|f64`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut cfg = HarnessConfig {
@@ -40,6 +53,7 @@ impl HarnessConfig {
             trials: 3,
             thread_counts: vec![1, num_threads_available()],
             json_out: None,
+            dtype: Dtype::F64,
         };
         let mut i = 1;
         while i < args.len() {
@@ -60,6 +74,14 @@ impl HarnessConfig {
                 "--json" => {
                     i += 1;
                     cfg.json_out = Some(args[i].clone());
+                }
+                "--dtype" => {
+                    i += 1;
+                    cfg.dtype = match args[i].as_str() {
+                        "f64" => Dtype::F64,
+                        "f32" => Dtype::F32,
+                        other => panic!("--dtype must be f32 or f64, got {other}"),
+                    };
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
             }
@@ -107,13 +129,25 @@ pub fn time_median<F: FnMut()>(mut f: F, trials: usize) -> f64 {
     times[times.len() / 2]
 }
 
-/// Random operands for a `P × Q × R` problem.
-pub fn workload(p: usize, q: usize, r: usize, seed: u64) -> (Matrix, Matrix) {
+/// Random operands for a `P × Q × R` problem, in any element type.
+/// Same seed ⇒ the same underlying draw sequence for every dtype, so
+/// cross-dtype comparisons multiply "the same" matrices.
+pub fn workload_in<T: GemmScalar>(
+    p: usize,
+    q: usize,
+    r: usize,
+    seed: u64,
+) -> (DenseMatrix<T>, DenseMatrix<T>) {
     let mut rng = StdRng::seed_from_u64(seed);
     (
-        Matrix::random(p, q, &mut rng),
-        Matrix::random(q, r, &mut rng),
+        DenseMatrix::random(p, q, &mut rng),
+        DenseMatrix::random(q, r, &mut rng),
     )
+}
+
+/// [`workload_in`] at the default element type.
+pub fn workload(p: usize, q: usize, r: usize, seed: u64) -> (Matrix, Matrix) {
+    workload_in::<f64>(p, q, r, seed)
 }
 
 /// One measurement row, serializable for EXPERIMENTS.md extraction.
@@ -162,8 +196,10 @@ impl Measurement {
     }
 }
 
-/// Time the classical baseline (our MKL stand-in) on a problem.
-pub fn measure_classical(
+/// Time the classical baseline (our MKL stand-in) on a problem, in any
+/// element type. The f32 row is labelled `classical(gemm)[f32]` so
+/// `summarize` keeps the dtypes apart.
+pub fn measure_classical_in<T: GemmScalar>(
     experiment: &str,
     p: usize,
     q: usize,
@@ -171,25 +207,25 @@ pub fn measure_classical(
     threads: usize,
     trials: usize,
 ) -> Measurement {
-    let (a, b) = workload(p, q, r, 42);
-    let mut c = Matrix::zeros(p, r);
+    let (a, b) = workload_in::<T>(p, q, r, 42);
+    let mut c = DenseMatrix::<T>::zeros(p, r);
     let tp = pool(threads);
     let secs = if threads == 1 {
         time_median(
-            || fmm_gemm::gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut()),
+            || fmm_gemm::gemm(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, c.as_mut()),
             trials,
         )
     } else {
         tp.install(|| {
             time_median(
-                || fmm_gemm::par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut()),
+                || fmm_gemm::par_gemm(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, c.as_mut()),
                 trials,
             )
         })
     };
     Measurement {
         experiment: experiment.into(),
-        algorithm: "classical(gemm)".into(),
+        algorithm: format!("classical(gemm){}", dtype_tag::<T>()),
         p,
         q,
         r,
@@ -200,6 +236,28 @@ pub fn measure_classical(
     }
 }
 
+/// `""` for f64 (keeping historical labels stable), `"[f32]"` etc.
+/// otherwise.
+pub fn dtype_tag<T: Scalar>() -> String {
+    if T::NAME == "f64" {
+        String::new()
+    } else {
+        format!("[{}]", T::NAME)
+    }
+}
+
+/// [`measure_classical_in`] at the default element type.
+pub fn measure_classical(
+    experiment: &str,
+    p: usize,
+    q: usize,
+    r: usize,
+    threads: usize,
+    trials: usize,
+) -> Measurement {
+    measure_classical_in::<f64>(experiment, p, q, r, threads, trials)
+}
+
 /// Time a fast algorithm with the given options, taking the best over
 /// `steps_candidates` recursion depths (paper §5 protocol).
 ///
@@ -207,6 +265,51 @@ pub fn measure_classical(
 /// depth candidate, outside the timed region — the timed loop is the
 /// allocation-free [`fmm_core::Plan::execute`] hot path, which is what
 /// a production caller would run.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_fast_in<T: GemmScalar>(
+    experiment: &str,
+    name: &str,
+    dec: &Decomposition,
+    p: usize,
+    q: usize,
+    r: usize,
+    threads: usize,
+    steps_candidates: &[usize],
+    base_opts: Options,
+    trials: usize,
+) -> Measurement {
+    let (a, b) = workload_in::<T>(p, q, r, 42);
+    let mut c = DenseMatrix::<T>::zeros(p, r);
+    let tp = pool(threads);
+    let mut best = (f64::INFINITY, 0usize);
+    for &steps in steps_candidates {
+        let plan = Planner::new()
+            .shape(p, q, r)
+            .algorithm(dec)
+            .steps(steps)
+            .options(base_opts)
+            .plan::<T>()
+            .expect("harness planner configuration is complete");
+        let mut ws = Workspace::for_plan(&plan);
+        let secs = tp.install(|| time_median(|| plan.execute(&a, &b, &mut c, &mut ws), trials));
+        if secs < best.0 {
+            best = (secs, steps);
+        }
+    }
+    Measurement {
+        experiment: experiment.into(),
+        algorithm: format!("{name}{}", dtype_tag::<T>()),
+        p,
+        q,
+        r,
+        threads,
+        steps: best.1,
+        seconds: best.0,
+        effective_gflops: fmm_gemm::effective_gflops(p, q, r, best.0),
+    }
+}
+
+/// [`measure_fast_in`] at the default element type.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_fast(
     experiment: &str,
@@ -220,35 +323,18 @@ pub fn measure_fast(
     base_opts: Options,
     trials: usize,
 ) -> Measurement {
-    let (a, b) = workload(p, q, r, 42);
-    let mut c = Matrix::zeros(p, r);
-    let tp = pool(threads);
-    let mut best = (f64::INFINITY, 0usize);
-    for &steps in steps_candidates {
-        let plan = Planner::new()
-            .shape(p, q, r)
-            .algorithm(dec)
-            .steps(steps)
-            .options(base_opts)
-            .plan()
-            .expect("harness planner configuration is complete");
-        let mut ws = Workspace::for_plan(&plan);
-        let secs = tp.install(|| time_median(|| plan.execute(&a, &b, &mut c, &mut ws), trials));
-        if secs < best.0 {
-            best = (secs, steps);
-        }
-    }
-    Measurement {
-        experiment: experiment.into(),
-        algorithm: name.into(),
+    measure_fast_in::<f64>(
+        experiment,
+        name,
+        dec,
         p,
         q,
         r,
         threads,
-        steps: best.1,
-        seconds: best.0,
-        effective_gflops: fmm_gemm::effective_gflops(p, q, r, best.0),
-    }
+        steps_candidates,
+        base_opts,
+        trials,
+    )
 }
 
 /// Scheme used by the paper's §5 protocol at a given core count:

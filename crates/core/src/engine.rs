@@ -35,7 +35,8 @@ use crate::cutoff::GemmProfile;
 use crate::executor::{ExecStatsSnapshot, Options, Scheme};
 use crate::planner::{Plan, PlanError, Planner};
 use crate::workspace::Workspace;
-use fmm_matrix::Matrix;
+use fmm_gemm::GemmScalar;
+use fmm_matrix::DenseMatrix;
 use fmm_runtime::{JobHandle, ThreadPool, ThreadPoolBuilder};
 use fmm_tensor::Decomposition;
 use std::collections::HashMap;
@@ -43,7 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Why the engine could not serve (or be built).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// `A.cols() != B.rows()`.
     InnerDimMismatch {
@@ -108,7 +109,11 @@ enum AlgSource {
 /// hardware-width pool (honoring `FMM_THREADS`), catalog auto-planning
 /// at depth chosen by the §3.4 rule, and the HYBRID scheme when the
 /// pool has more than one worker.
-pub struct EngineBuilder {
+///
+/// The element-type parameter (default `f64`) fixes the dtype every
+/// plan of the built engine executes in; `FmmEngine::<f32>::builder()`
+/// configures a single-precision engine.
+pub struct EngineBuilder<T = f64> {
     threads: Option<usize>,
     cache_capacity: usize,
     max_pooled_workspaces: Option<usize>,
@@ -118,15 +123,16 @@ pub struct EngineBuilder {
     max_steps: usize,
     profile: Option<GemmProfile>,
     alg: AlgSource,
+    _dtype: std::marker::PhantomData<T>,
 }
 
-impl Default for EngineBuilder {
+impl<T: GemmScalar> Default for EngineBuilder<T> {
     fn default() -> Self {
         EngineBuilder::new()
     }
 }
 
-impl EngineBuilder {
+impl<T: GemmScalar> EngineBuilder<T> {
     /// A builder with the engine defaults.
     #[must_use]
     pub fn new() -> Self {
@@ -140,6 +146,7 @@ impl EngineBuilder {
             max_steps: 4,
             profile: None,
             alg: AlgSource::Catalog,
+            _dtype: std::marker::PhantomData,
         }
     }
 
@@ -229,7 +236,7 @@ impl EngineBuilder {
     }
 
     /// Spawn the pool and assemble the engine.
-    pub fn build(self) -> Result<FmmEngine, EngineError> {
+    pub fn build(self) -> Result<FmmEngine<T>, EngineError> {
         let width = self
             .threads
             .unwrap_or_else(fmm_runtime::default_num_threads)
@@ -279,13 +286,13 @@ struct PlanKey {
 /// Bounded LRU: a map from key to `(plan, last-use tick)`. Capacities
 /// are small (tens of shapes), so eviction scans for the minimum tick
 /// instead of maintaining a linked list.
-struct PlanCache {
+struct PlanCache<T> {
     capacity: usize,
     tick: u64,
-    map: HashMap<PlanKey, (Arc<Plan>, u64)>,
+    map: HashMap<PlanKey, (Arc<Plan<T>>, u64)>,
 }
 
-impl PlanCache {
+impl<T: GemmScalar> PlanCache<T> {
     fn new(capacity: usize) -> Self {
         PlanCache {
             capacity,
@@ -294,7 +301,7 @@ impl PlanCache {
         }
     }
 
-    fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan<T>>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|entry| {
@@ -305,7 +312,7 @@ impl PlanCache {
 
     /// Insert and evict least-recently-used entries beyond capacity,
     /// returning how many were evicted.
-    fn insert(&mut self, key: PlanKey, plan: Arc<Plan>) -> u64 {
+    fn insert(&mut self, key: PlanKey, plan: Arc<Plan<T>>) -> u64 {
         self.tick += 1;
         self.map.insert(key, (plan, self.tick));
         let mut evicted = 0;
@@ -375,7 +382,7 @@ pub struct EngineStats {
     pub tasks_stolen: u64,
 }
 
-struct EngineInner {
+struct EngineInner<T> {
     pool: ThreadPool,
     width: usize,
     base_opts: Options,
@@ -383,14 +390,14 @@ struct EngineInner {
     max_steps: usize,
     profile: Option<GemmProfile>,
     alg: AlgSource,
-    cache: Mutex<PlanCache>,
-    workspaces: Mutex<Vec<Workspace>>,
+    cache: Mutex<PlanCache<T>>,
+    workspaces: Mutex<Vec<Workspace<T>>>,
     max_pooled_workspaces: usize,
     max_pooled_workspace_len: usize,
     counters: Counters,
 }
 
-impl EngineInner {
+impl<T: GemmScalar> EngineInner<T> {
     fn key_for(&self, m: usize, k: usize, n: usize) -> PlanKey {
         PlanKey {
             shape: (m, k, n),
@@ -405,7 +412,7 @@ impl EngineInner {
     /// Cached plan for a shape, planning on miss. Planning runs outside
     /// the cache lock, so a concurrent first request for the same shape
     /// may plan twice (both misses counted); the later insert wins.
-    fn plan_for(&self, m: usize, k: usize, n: usize) -> Result<Arc<Plan>, EngineError> {
+    fn plan_for(&self, m: usize, k: usize, n: usize) -> Result<Arc<Plan<T>>, EngineError> {
         let key = self.key_for(m, k, n);
         if let Some(plan) = self.cache.lock().unwrap().get(&key) {
             self.counters
@@ -426,7 +433,7 @@ impl EngineInner {
         Ok(plan)
     }
 
-    fn build_plan(&self, m: usize, k: usize, n: usize) -> Result<Plan, EngineError> {
+    fn build_plan(&self, m: usize, k: usize, n: usize) -> Result<Plan<T>, EngineError> {
         let mut planner = Planner::new()
             .shape(m, k, n)
             .options(self.base_opts)
@@ -453,10 +460,10 @@ impl EngineInner {
         if let Some(steps) = self.steps {
             planner = planner.steps(steps);
         }
-        Ok(planner.plan()?)
+        Ok(planner.plan::<T>()?)
     }
 
-    fn checkout_workspace(&self) -> Workspace {
+    fn checkout_workspace(&self) -> Workspace<T> {
         if let Some(ws) = self.workspaces.lock().unwrap().pop() {
             return ws;
         }
@@ -466,7 +473,7 @@ impl EngineInner {
         Workspace::new()
     }
 
-    fn checkin_workspace(&self, ws: Workspace) {
+    fn checkin_workspace(&self, ws: Workspace<T>) {
         // Arenas grow monotonically, so without the length bound one
         // burst of huge multiplies would pin max-sized arenas for the
         // engine's whole lifetime; oversized arenas are dropped here
@@ -485,9 +492,9 @@ impl EngineInner {
     /// account, check the workspace back in.
     fn serve(
         &self,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        c: &mut DenseMatrix<T>,
     ) -> Result<ExecStatsSnapshot, EngineError> {
         let (m, ka) = a.shape();
         let (kb, n) = b.shape();
@@ -550,30 +557,38 @@ impl EngineInner {
 /// assert_eq!(stats.multiplies, 2);
 /// assert_eq!(stats.plan_cache_hits, 1); // second multiply reused the plan
 /// ```
-#[derive(Clone)]
-pub struct FmmEngine {
-    inner: Arc<EngineInner>,
+pub struct FmmEngine<T = f64> {
+    inner: Arc<EngineInner<T>>,
 }
 
-impl std::fmt::Debug for FmmEngine {
+impl<T> Clone for FmmEngine<T> {
+    fn clone(&self) -> Self {
+        FmmEngine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: GemmScalar> std::fmt::Debug for FmmEngine<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FmmEngine")
+            .field("dtype", &T::NAME)
             .field("threads", &self.inner.width)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-impl FmmEngine {
+impl<T: GemmScalar> FmmEngine<T> {
     /// Start configuring an engine.
     #[must_use]
-    pub fn builder() -> EngineBuilder {
+    pub fn builder() -> EngineBuilder<T> {
         EngineBuilder::new()
     }
 
     /// An engine with all defaults (hardware-width pool, catalog
     /// auto-planning).
-    pub fn new() -> Result<FmmEngine, EngineError> {
+    pub fn new() -> Result<FmmEngine<T>, EngineError> {
         EngineBuilder::new().build()
     }
 
@@ -583,15 +598,24 @@ impl FmmEngine {
     }
 
     /// `A · B` into a fresh output matrix (synchronous).
-    pub fn multiply(&self, a: &Matrix, b: &Matrix) -> Result<Matrix, EngineError> {
-        let mut c = Matrix::zeros(a.rows(), b.cols());
+    pub fn multiply(
+        &self,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+    ) -> Result<DenseMatrix<T>, EngineError> {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
         self.inner.serve(a, b, &mut c)?;
         Ok(c)
     }
 
     /// `C = A · B` into a caller-provided output: with the plan cached
     /// and the workspace pool warm, this path allocates nothing.
-    pub fn multiply_into(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), EngineError> {
+    pub fn multiply_into(
+        &self,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        c: &mut DenseMatrix<T>,
+    ) -> Result<(), EngineError> {
         self.inner.serve(a, b, c).map(|_| ())
     }
 
@@ -600,9 +624,9 @@ impl FmmEngine {
     /// steals).
     pub fn multiply_with_stats(
         &self,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        c: &mut DenseMatrix<T>,
     ) -> Result<ExecStatsSnapshot, EngineError> {
         self.inner.serve(a, b, c)
     }
@@ -610,10 +634,10 @@ impl FmmEngine {
     /// Asynchronous submit: move the operands into a detached job on
     /// the engine pool and return at once. Shape errors surface from
     /// [`MultiplyHandle::wait`], not here.
-    pub fn submit(&self, a: Matrix, b: Matrix) -> MultiplyHandle {
+    pub fn submit(&self, a: DenseMatrix<T>, b: DenseMatrix<T>) -> MultiplyHandle<T> {
         let inner = Arc::clone(&self.inner);
         let handle = self.inner.pool.spawn(move || {
-            let mut c = Matrix::zeros(a.rows(), b.cols());
+            let mut c = DenseMatrix::zeros(a.rows(), b.cols());
             inner.serve(&a, &b, &mut c).map(|_| c)
         });
         MultiplyHandle { handle }
@@ -625,8 +649,8 @@ impl FmmEngine {
     /// [`crate::Plan::execute_batch`] the batch need not be uniform.
     pub fn submit_batch(
         &self,
-        batch: impl IntoIterator<Item = (Matrix, Matrix)>,
-    ) -> Vec<MultiplyHandle> {
+        batch: impl IntoIterator<Item = (DenseMatrix<T>, DenseMatrix<T>)>,
+    ) -> Vec<MultiplyHandle<T>> {
         batch.into_iter().map(|(a, b)| self.submit(a, b)).collect()
     }
 
@@ -634,7 +658,7 @@ impl FmmEngine {
     /// for a `m × k × n` problem — for callers that want to inspect it
     /// or run [`Plan::execute`] themselves against the same compiled
     /// plan.
-    pub fn plan_for(&self, m: usize, k: usize, n: usize) -> Result<Arc<Plan>, EngineError> {
+    pub fn plan_for(&self, m: usize, k: usize, n: usize) -> Result<Arc<Plan<T>>, EngineError> {
         self.inner.plan_for(m, k, n)
     }
 
@@ -662,11 +686,11 @@ impl FmmEngine {
 /// blocks until the product is ready; a waiting engine-pool worker
 /// helps execute pool work instead of blocking (see
 /// [`fmm_runtime::JobHandle`]).
-pub struct MultiplyHandle {
-    handle: JobHandle<Result<Matrix, EngineError>>,
+pub struct MultiplyHandle<T = f64> {
+    handle: JobHandle<Result<DenseMatrix<T>, EngineError>>,
 }
 
-impl MultiplyHandle {
+impl<T: GemmScalar> MultiplyHandle<T> {
     /// Has the multiply finished?
     pub fn is_done(&self) -> bool {
         self.handle.is_done()
@@ -674,7 +698,7 @@ impl MultiplyHandle {
 
     /// Join: block until the product is ready and return it (or the
     /// shape/planning error the job hit).
-    pub fn wait(self) -> Result<Matrix, EngineError> {
+    pub fn wait(self) -> Result<DenseMatrix<T>, EngineError> {
         self.handle.wait()
     }
 }
@@ -683,7 +707,7 @@ impl MultiplyHandle {
 mod tests {
     use super::*;
     use fmm_gemm::naive_gemm;
-    use fmm_matrix::max_abs_diff;
+    use fmm_matrix::{max_abs_diff, Matrix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

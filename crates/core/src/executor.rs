@@ -15,11 +15,16 @@
 //!    sequential, DFS, BFS and HYBRID parallel schemes (§4), and
 //! 4. combines the `M_r` into `C` with the rows of `W`.
 //!
+//! The whole recursion is generic over the element type
+//! ([`fmm_gemm::GemmScalar`]): decomposition coefficients are injected
+//! into the scalar once per level at plan time
+//! ([`Scalar::from_coeff`]), so the hot path never converts.
+//!
 //! # Memory model
 //!
 //! The executor never allocates temporaries itself: every S/T/M buffer,
 //! every CSE temporary, and the padding copies are carved out of a flat
-//! `&mut [f64]` workspace whose exact size is computed by walking the
+//! `&mut [T]` workspace whose exact size is computed by walking the
 //! recursion tree once ([`required_workspace`]). The [`crate::Plan`] API
 //! computes that size at plan time and reuses a [`crate::Workspace`]
 //! across executes (zero allocation on the hot path); the lower-level
@@ -29,10 +34,10 @@
 //! [`crate::Plan::workspace_len`].
 
 use crate::plan::{output_plan, side_plan, SidePlan, Var};
-use fmm_gemm::{gemm, par_gemm};
+use fmm_gemm::{gemm, par_gemm, GemmScalar};
 use fmm_matrix::kernels;
 use fmm_matrix::partition::{Grid, PeelSplit};
-use fmm_matrix::{MatMut, MatRef, Matrix};
+use fmm_matrix::{DenseMatrix, MatMut, MatRef, Scalar};
 use fmm_tensor::Decomposition;
 
 /// How the bandwidth-bound addition chains are evaluated (§3.2).
@@ -141,7 +146,7 @@ pub struct ExecStats {
     pub base_gemms: std::sync::atomic::AtomicU64,
     /// Classical fix-up products issued by dynamic peeling.
     pub peel_gemms: std::sync::atomic::AtomicU64,
-    /// Total f64 elements checked out of the workspace for S/T/M
+    /// Total scalar elements checked out of the workspace for S/T/M
     /// temporaries and padding copies.
     pub temp_elements: std::sync::atomic::AtomicU64,
     /// Bitmask of pool workers that executed at least one gemm during
@@ -157,7 +162,7 @@ pub struct ExecStatsSnapshot {
     pub base_gemms: u64,
     /// Peel fix-up gemm calls.
     pub peel_gemms: u64,
-    /// Total temporary f64 elements checked out of the workspace.
+    /// Total temporary scalar elements checked out of the workspace.
     pub temp_elements: u64,
     /// Size in bytes of the workspace this execution ran in.
     pub workspace_bytes: u64,
@@ -198,29 +203,81 @@ impl ExecStats {
     }
 }
 
-/// Pre-computed per-level plan.
-pub(crate) struct LevelPlan {
+/// One side's addition chains with coefficients already injected into
+/// the target scalar type (the typed twin of [`SidePlan`]).
+pub(crate) struct TypedSide<T> {
+    pub(crate) temps: Vec<Vec<(Var, T)>>,
+    pub(crate) chains: Vec<Vec<(Var, T)>>,
+    pub(crate) passthrough: Vec<Option<(usize, T)>>,
+}
+
+fn typed_chain<T: Scalar>(chain: &[(Var, f64)]) -> Result<Vec<(Var, T)>, f64> {
+    chain
+        .iter()
+        .map(|&(v, c)| T::from_coeff(c).map(|tc| (v, tc)).ok_or(c))
+        .collect()
+}
+
+impl<T: Scalar> TypedSide<T> {
+    fn try_from(plan: &SidePlan) -> Result<Self, f64> {
+        Ok(TypedSide {
+            temps: plan
+                .temps
+                .iter()
+                .map(|t| typed_chain(t))
+                .collect::<Result<_, _>>()?,
+            chains: plan
+                .chains
+                .iter()
+                .map(|c| typed_chain(c))
+                .collect::<Result<_, _>>()?,
+            passthrough: plan
+                .passthrough
+                .iter()
+                .map(|p| match p {
+                    Some((b, c)) => T::from_coeff(*c).map(|tc| Some((*b, tc))).ok_or(*c),
+                    None => Ok(None),
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Pre-computed per-level plan, with coefficients in the element type.
+pub(crate) struct LevelPlan<T> {
     pub(crate) m: usize,
     pub(crate) k: usize,
     pub(crate) n: usize,
-    uplan: SidePlan,
-    vplan: SidePlan,
-    wplan: Vec<Vec<(usize, f64)>>,
+    uplan: TypedSide<T>,
+    vplan: TypedSide<T>,
+    wplan: Vec<Vec<(usize, T)>>,
     pub(crate) rank: usize,
 }
 
-impl LevelPlan {
-    pub(crate) fn new(dec: &Decomposition, cse: bool) -> Self {
+impl<T: Scalar> LevelPlan<T> {
+    /// Build the level plan, injecting every coefficient through
+    /// [`Scalar::from_coeff`]. `Err` carries the first coefficient the
+    /// scalar type rejected — impossible for the float types, the
+    /// designed failure mode for non-field semirings.
+    pub(crate) fn try_new(dec: &Decomposition, cse: bool) -> Result<Self, f64> {
         const TOL: f64 = 1e-14;
-        LevelPlan {
+        let wplan = output_plan(&dec.w, TOL)
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&(r, c)| T::from_coeff(c).map(|tc| (r, tc)).ok_or(c))
+                    .collect::<Result<Vec<_>, f64>>()
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(LevelPlan {
             m: dec.m,
             k: dec.k,
             n: dec.n,
-            uplan: side_plan(&dec.u, cse, TOL),
-            vplan: side_plan(&dec.v, cse, TOL),
-            wplan: output_plan(&dec.w, TOL),
+            uplan: TypedSide::try_from(&side_plan(&dec.u, cse, TOL))?,
+            vplan: TypedSide::try_from(&side_plan(&dec.v, cse, TOL))?,
+            wplan,
             rank: dec.rank(),
-        }
+        })
     }
 }
 
@@ -256,8 +313,8 @@ impl NodeLayout {
     /// Layout for a node at `depth` on a `p × q × r` problem, or `None`
     /// when the node degenerates to a single base-case gemm (recursion
     /// exhausted or core empty) and needs no workspace.
-    fn at(
-        levels: &[LevelPlan],
+    fn at<T: Scalar>(
+        levels: &[LevelPlan<T>],
         depth: usize,
         scheme: Scheme,
         p: usize,
@@ -314,8 +371,8 @@ impl NodeLayout {
 }
 
 /// Workspace elements needed by the subtree rooted at `depth`.
-fn node_workspace(
-    levels: &[LevelPlan],
+fn node_workspace<T: Scalar>(
+    levels: &[LevelPlan<T>],
     depth: usize,
     scheme: Scheme,
     p: usize,
@@ -325,12 +382,12 @@ fn node_workspace(
     NodeLayout::at(levels, depth, scheme, p, q, r).map_or(0, |l| l.total())
 }
 
-/// Exact workspace size (in f64 elements) a `p × q × r` execution of
+/// Exact workspace size (in scalar elements) a `p × q × r` execution of
 /// this schedule requires, including padding copies when
 /// [`BorderHandling::Padding`] is selected. One walk of the recursion
 /// tree; this is what [`crate::Plan::workspace_len`] precomputes.
-pub(crate) fn required_workspace(
-    levels: &[LevelPlan],
+pub(crate) fn required_workspace<T: Scalar>(
+    levels: &[LevelPlan<T>],
     opts: &Options,
     p: usize,
     q: usize,
@@ -350,7 +407,7 @@ pub(crate) fn required_workspace(
 
 /// Dimensions after zero-padding each axis to the full per-level
 /// product so no recursion level ever peels.
-fn padded_dims(levels: &[LevelPlan], p: usize, q: usize, r: usize) -> (usize, usize, usize) {
+fn padded_dims<T>(levels: &[LevelPlan<T>], p: usize, q: usize, r: usize) -> (usize, usize, usize) {
     let mprod: usize = levels.iter().map(|l| l.m).product();
     let kprod: usize = levels.iter().map(|l| l.k).product();
     let nprod: usize = levels.iter().map(|l| l.n).product();
@@ -369,19 +426,31 @@ fn padded_dims(levels: &[LevelPlan], p: usize, q: usize, r: usize) -> (usize, us
 /// front and the multiply repeats, prefer [`crate::Planner`] /
 /// [`crate::Plan::execute`], which hoist both the sizing walk and the
 /// allocation out of the hot path entirely.
-pub struct FastMul {
-    levels: Vec<LevelPlan>,
+///
+/// Generic over the element type with the usual `f64` default;
+/// `FastMul::<f32>::new(..)` runs the same schedule in single
+/// precision.
+pub struct FastMul<T = f64> {
+    levels: Vec<LevelPlan<T>>,
     opts: Options,
 }
 
-impl FastMul {
+impl<T: GemmScalar> FastMul<T> {
     /// Uniform algorithm: `opts.steps` recursive applications of `dec`.
     ///
     /// `opts.steps` is authoritative here (and only here); the
     /// schedule-based constructor derives the depth from the schedule.
+    ///
+    /// # Panics
+    /// Panics when a decomposition coefficient is not representable in
+    /// `T` ([`Scalar::from_coeff`]); use [`crate::Planner`] for the
+    /// error-returning path.
     pub fn new(dec: &Decomposition, opts: Options) -> Self {
         let levels = (0..opts.steps)
-            .map(|_| LevelPlan::new(dec, opts.cse))
+            .map(|_| {
+                LevelPlan::try_new(dec, opts.cse)
+                    .unwrap_or_else(|c| panic!("coefficient {c} not representable in {}", T::NAME))
+            })
             .collect();
         FastMul { levels, opts }
     }
@@ -394,6 +463,9 @@ impl FastMul {
     /// a value equal to `schedule.len()`): any other nonzero value is a
     /// configuration bug and trips a `debug_assert`. The stored options
     /// are normalized so `steps == schedule.len()` afterwards.
+    ///
+    /// # Panics
+    /// As [`FastMul::new`], on unrepresentable coefficients.
     pub fn with_schedule(schedule: &[&Decomposition], mut opts: Options) -> Self {
         debug_assert!(
             opts.steps == 0 || opts.steps == schedule.len(),
@@ -405,21 +477,24 @@ impl FastMul {
         opts.steps = schedule.len();
         let levels = schedule
             .iter()
-            .map(|d| LevelPlan::new(d, opts.cse))
+            .map(|d| {
+                LevelPlan::try_new(d, opts.cse)
+                    .unwrap_or_else(|c| panic!("coefficient {c} not representable in {}", T::NAME))
+            })
             .collect();
         FastMul { levels, opts }
     }
 
     /// `C = A · B` into a fresh matrix.
-    pub fn multiply(&self, a: &Matrix, b: &Matrix) -> Matrix {
+    pub fn multiply(&self, a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
         assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
-        let mut c = Matrix::zeros(a.rows(), b.cols());
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
         self.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
         c
     }
 
     /// `C = A · B` into a caller-provided view (contents overwritten).
-    pub fn multiply_into(&self, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
+    pub fn multiply_into(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
         self.run(a, b, c, None);
     }
 
@@ -427,24 +502,30 @@ impl FastMul {
     /// statistics (leaf gemm count, peel fix-ups, temporary footprint).
     pub fn multiply_into_with_stats(
         &self,
-        a: MatRef<'_>,
-        b: MatRef<'_>,
-        c: MatMut<'_>,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
     ) -> ExecStatsSnapshot {
         let stats = ExecStats::default();
         let steals_before = fmm_runtime::steal_count();
         let ws_len = self.run(a, b, c, Some(&stats));
         let tasks_stolen = fmm_runtime::steal_count() - steals_before;
         stats.snapshot(
-            (ws_len * std::mem::size_of::<f64>()) as u64,
+            (ws_len * std::mem::size_of::<T>()) as u64,
             false,
             tasks_stolen,
         )
     }
 
-    fn run(&self, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>, stats: Option<&ExecStats>) -> usize {
+    fn run(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+        stats: Option<&ExecStats>,
+    ) -> usize {
         let len = required_workspace(&self.levels, &self.opts, a.rows(), a.cols(), b.cols());
-        let mut buf = vec![0.0f64; len];
+        let mut buf = vec![T::ZERO; len];
         execute_on(&self.levels, &self.opts, a, b, c, stats, &mut buf);
         len
     }
@@ -458,14 +539,14 @@ impl FastMul {
 /// Run the schedule inside `ws`, which must hold at least
 /// [`required_workspace`] elements. Shared by [`FastMul`] (fresh buffer
 /// per call) and [`crate::Plan::execute`] (reused [`crate::Workspace`]).
-pub(crate) fn execute_on(
-    levels: &[LevelPlan],
+pub(crate) fn execute_on<T: GemmScalar>(
+    levels: &[LevelPlan<T>],
     opts: &Options,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    mut c: MatMut<'_>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
     stats: Option<&ExecStats>,
-    ws: &mut [f64],
+    ws: &mut [T],
 ) {
     assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
     assert_eq!(c.rows(), a.rows(), "output rows mismatch");
@@ -495,8 +576,8 @@ pub(crate) fn execute_on(
             let (cbuf, rest) = rest.split_at_mut(pp * rr);
             // The workspace may hold stale values from a previous
             // execute; the pad frame must be exact zeros.
-            abuf.fill(0.0);
-            bbuf.fill(0.0);
+            abuf.fill(T::ZERO);
+            bbuf.fill(T::ZERO);
             kernels::copy(
                 MatMut::from_slice(abuf, pp, qq, qq).into_block(0, 0, p, q),
                 a,
@@ -524,15 +605,15 @@ pub(crate) fn execute_on(
     run_node(&ctx, 0, 0, a, b, c, ws);
 }
 
-struct Ctx<'p> {
-    levels: &'p [LevelPlan],
+struct Ctx<'p, T> {
+    levels: &'p [LevelPlan<T>],
     additions: AdditionMethod,
     scheme: Scheme,
     threshold: u64,
     stats: Option<&'p ExecStats>,
 }
 
-impl Ctx<'_> {
+impl<T> Ctx<'_, T> {
     fn count(&self, field: impl Fn(&ExecStats) -> &std::sync::atomic::AtomicU64, amount: u64) {
         if let Some(stats) = self.stats {
             field(stats).fetch_add(amount, std::sync::atomic::Ordering::Relaxed);
@@ -554,7 +635,7 @@ impl Ctx<'_> {
     }
 }
 
-impl Ctx<'_> {
+impl<T: GemmScalar> Ctx<'_, T> {
     /// Leaves under one child of a node at `depth`.
     fn leaves_below(&self, depth: usize) -> u64 {
         self.levels[depth + 1..]
@@ -577,11 +658,11 @@ impl Ctx<'_> {
     fn leaf_gemm(
         &self,
         leaf: u64,
-        alpha: f64,
-        a: MatRef<'_>,
-        b: MatRef<'_>,
-        beta: f64,
-        c: MatMut<'_>,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        c: MatMut<'_, T>,
     ) {
         self.count(|s| &s.base_gemms, 1);
         self.mark_thread();
@@ -602,11 +683,11 @@ impl Ctx<'_> {
     fn strip_gemm(
         &self,
         depth: usize,
-        alpha: f64,
-        a: MatRef<'_>,
-        b: MatRef<'_>,
-        beta: f64,
-        c: MatMut<'_>,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        c: MatMut<'_, T>,
     ) {
         self.count(|s| &s.peel_gemms, 1);
         self.mark_thread();
@@ -624,20 +705,20 @@ impl Ctx<'_> {
 }
 
 /// Recursive driver: peel, then run the fast step on the divisible core.
-fn run_node(
-    ctx: &Ctx<'_>,
+fn run_node<T: GemmScalar>(
+    ctx: &Ctx<'_, T>,
     depth: usize,
     leaf_lo: u64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    mut c: MatMut<'_>,
-    ws: &mut [f64],
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
+    ws: &mut [T],
 ) {
     let (p, q, r) = (a.rows(), a.cols(), b.cols());
     let Some(layout) = NodeLayout::at(ctx.levels, depth, ctx.scheme, p, q, r) else {
         // Recursion exhausted, or the core is smaller than the base
         // case: one classical product.
-        ctx.leaf_gemm(leaf_lo, 1.0, a, b, 0.0, c);
+        ctx.leaf_gemm(leaf_lo, T::ONE, a, b, T::ZERO, c);
         return;
     };
     let peel = layout.peel;
@@ -667,10 +748,10 @@ fn run_node(
         let b21 = b.block(q1, 0, dq, r1);
         ctx.strip_gemm(
             depth,
-            1.0,
+            T::ONE,
             a12,
             b21,
-            1.0,
+            T::ONE,
             c.reborrow().into_block(0, 0, p1, r1),
         );
     }
@@ -679,10 +760,10 @@ fn run_node(
         let b12 = b.block(0, r1, q1, dr);
         ctx.strip_gemm(
             depth,
-            1.0,
+            T::ONE,
             a11,
             b12,
-            0.0,
+            T::ZERO,
             c.reborrow().into_block(0, r1, p1, dr),
         );
         if dq > 0 {
@@ -690,10 +771,10 @@ fn run_node(
             let b22 = b.block(q1, r1, dq, dr);
             ctx.strip_gemm(
                 depth,
-                1.0,
+                T::ONE,
                 a12,
                 b22,
-                1.0,
+                T::ONE,
                 c.reborrow().into_block(0, r1, p1, dr),
             );
         }
@@ -703,10 +784,10 @@ fn run_node(
         let a21 = a.block(p1, 0, dp, q1);
         ctx.strip_gemm(
             depth,
-            1.0,
+            T::ONE,
             a21,
             b11,
-            0.0,
+            T::ZERO,
             c.reborrow().into_block(p1, 0, dp, r1),
         );
         if dq > 0 {
@@ -714,10 +795,10 @@ fn run_node(
             let b21 = b.block(q1, 0, dq, r1);
             ctx.strip_gemm(
                 depth,
-                1.0,
+                T::ONE,
                 a22,
                 b21,
-                1.0,
+                T::ONE,
                 c.reborrow().into_block(p1, 0, dp, r1),
             );
         }
@@ -728,10 +809,10 @@ fn run_node(
         let b12 = b.block(0, r1, q1, dr);
         ctx.strip_gemm(
             depth,
-            1.0,
+            T::ONE,
             a21,
             b12,
-            0.0,
+            T::ZERO,
             c.reborrow().into_block(p1, r1, dp, dr),
         );
         if dq > 0 {
@@ -739,10 +820,10 @@ fn run_node(
             let b22 = b.block(q1, r1, dq, dr);
             ctx.strip_gemm(
                 depth,
-                1.0,
+                T::ONE,
                 a22,
                 b22,
-                1.0,
+                T::ONE,
                 c.reborrow().into_block(p1, r1, dp, dr),
             );
         }
@@ -752,21 +833,21 @@ fn run_node(
 /// Evaluate the CSE temporaries of one side into workspace slices
 /// carved from `buf`, returning a read view of each in evaluation
 /// order (a temp may reference earlier temps).
-fn eval_temps<'w>(
-    plan: &SidePlan,
+fn eval_temps<'w, T: Scalar>(
+    temps: &[Vec<(Var, T)>],
     grid: &Grid,
-    src: &MatRef<'w>,
+    src: &MatRef<'w, T>,
     par: bool,
-    buf: &'w mut [f64],
-) -> Vec<MatRef<'w>> {
+    buf: &'w mut [T],
+) -> Vec<MatRef<'w, T>> {
     let size = grid.rs * grid.cs;
-    let mut done: Vec<MatRef<'w>> = Vec::with_capacity(plan.temps.len());
+    let mut done: Vec<MatRef<'w, T>> = Vec::with_capacity(temps.len());
     let mut rest = buf;
-    for def in &plan.temps {
+    for def in temps {
         let (cur, tail) = rest.split_at_mut(size);
         rest = tail;
         {
-            let terms: Vec<(f64, MatRef<'_>)> = def
+            let terms: Vec<(T, MatRef<'_, T>)> = def
                 .iter()
                 .map(|&(v, coef)| match v {
                     Var::Block(bi) => (coef, grid.block(src, bi / grid.bc, bi % grid.bc)),
@@ -775,9 +856,9 @@ fn eval_temps<'w>(
                 .collect();
             let out = MatMut::from_slice(&mut cur[..], grid.rs, grid.cs, grid.cs);
             if par {
-                kernels::par_lincomb(out, 0.0, &terms);
+                kernels::par_lincomb(out, T::ZERO, &terms);
             } else {
-                kernels::lincomb(out, 0.0, &terms);
+                kernels::lincomb(out, T::ZERO, &terms);
             }
         }
         done.push(MatRef::from_slice(cur, grid.rs, grid.cs, grid.cs));
@@ -790,13 +871,13 @@ fn eval_temps<'w>(
 /// `None` where the singleton-column optimization (§3.1) borrows the
 /// source block directly.
 #[allow(clippy::type_complexity)]
-fn carve_st<'w>(
-    lp: &LevelPlan,
+fn carve_st<'w, T: Scalar>(
+    lp: &LevelPlan<T>,
     layout: &NodeLayout,
-    st: &'w mut [f64],
-) -> (Vec<Option<&'w mut [f64]>>, Vec<Option<&'w mut [f64]>>) {
-    let mut s: Vec<Option<&'w mut [f64]>> = Vec::with_capacity(lp.rank);
-    let mut t: Vec<Option<&'w mut [f64]>> = Vec::with_capacity(lp.rank);
+    st: &'w mut [T],
+) -> (Vec<Option<&'w mut [T]>>, Vec<Option<&'w mut [T]>>) {
+    let mut s: Vec<Option<&'w mut [T]>> = Vec::with_capacity(lp.rank);
+    let mut t: Vec<Option<&'w mut [T]>> = Vec::with_capacity(lp.rank);
     let mut rest = st;
     for i in 0..lp.rank {
         if lp.uplan.passthrough[i].is_none() {
@@ -822,22 +903,22 @@ fn carve_st<'w>(
 /// for singleton columns (§3.1) or a view of `buf` after evaluating the
 /// chain into it.
 #[allow(clippy::too_many_arguments)]
-fn form_operand<'x>(
-    plan: &SidePlan,
+fn form_operand<'x, T: Scalar>(
+    plan: &TypedSide<T>,
     r: usize,
     grid: &Grid,
-    src: &MatRef<'x>,
-    temps: &[MatRef<'x>],
+    src: &MatRef<'x, T>,
+    temps: &[MatRef<'x, T>],
     method: AdditionMethod,
     par: bool,
-    buf: Option<&'x mut [f64]>,
-) -> (MatRef<'x>, f64) {
+    buf: Option<&'x mut [T]>,
+) -> (MatRef<'x, T>, T) {
     if let Some((bi, scale)) = plan.passthrough[r] {
         return (grid.block(src, bi / grid.bc, bi % grid.bc), scale);
     }
     let buf = buf.expect("non-passthrough operand requires a workspace buffer");
     let chain = &plan.chains[r];
-    let terms: Vec<(f64, MatRef<'_>)> = chain
+    let terms: Vec<(T, MatRef<'_, T>)> = chain
         .iter()
         .map(|&(v, coef)| match v {
             Var::Block(bi) => (coef, grid.block(src, bi / grid.bc, bi % grid.bc)),
@@ -852,7 +933,7 @@ fn form_operand<'x>(
                 let (c0, s0) = terms[0];
                 if par {
                     kernels::par_copy(out.reborrow(), s0);
-                    if c0 != 1.0 {
+                    if c0 != T::ONE {
                         kernels::scale(out.reborrow(), c0);
                     }
                     for &(cf, sv) in &terms[1..] {
@@ -867,37 +948,37 @@ fn form_operand<'x>(
             }
             AdditionMethod::WriteOnce | AdditionMethod::Streaming => {
                 if par {
-                    kernels::par_lincomb(out, 0.0, &terms);
+                    kernels::par_lincomb(out, T::ZERO, &terms);
                 } else {
-                    kernels::lincomb(out, 0.0, &terms);
+                    kernels::lincomb(out, T::ZERO, &terms);
                 }
             }
         }
     }
-    (MatRef::from_slice(buf, grid.rs, grid.cs, grid.cs), 1.0)
+    (MatRef::from_slice(buf, grid.rs, grid.cs, grid.cs), T::ONE)
 }
 
 /// Form all operands of one side with the streaming strategy: zero all
 /// workspace temporaries, then stream each source block once, updating
 /// every chain that references it.
-fn form_side_streaming<'x>(
-    plan: &SidePlan,
+fn form_side_streaming<'x, T: Scalar>(
+    plan: &TypedSide<T>,
     grid: &Grid,
-    src: &MatRef<'x>,
-    temps: &[MatRef<'x>],
+    src: &MatRef<'x, T>,
+    temps: &[MatRef<'x, T>],
     par: bool,
-    bufs: Vec<Option<&'x mut [f64]>>,
-) -> Vec<(MatRef<'x>, f64)> {
+    bufs: Vec<Option<&'x mut [T]>>,
+) -> Vec<(MatRef<'x, T>, T)> {
     // The workspace may hold stale values; streaming accumulates, so
     // every owned destination starts from exact zero.
-    let mut owned: Vec<Option<&'x mut [f64]>> = bufs;
+    let mut owned: Vec<Option<&'x mut [T]>> = bufs;
     for buf in owned.iter_mut().flatten() {
-        buf.fill(0.0);
+        buf.fill(T::ZERO);
     }
 
     // Reverse index: variable → [(chain, coef)], chains ascending so
     // disjoint mutable access can be split off in order.
-    let mut by_var: std::collections::HashMap<Var, Vec<(usize, f64)>> =
+    let mut by_var: std::collections::HashMap<Var, Vec<(usize, T)>> =
         std::collections::HashMap::new();
     for (r, chain) in plan.chains.iter().enumerate() {
         if plan.passthrough[r].is_some() {
@@ -913,12 +994,12 @@ fn form_side_streaming<'x>(
             Var::Block(bi) => grid.block(src, bi / grid.bc, bi % grid.bc),
             Var::Temp(t) => temps[t],
         };
-        let mut targets: Vec<(usize, f64)> = targets.clone();
+        let mut targets: Vec<(usize, T)> = targets.clone();
         targets.sort_unstable_by_key(|&(r, _)| r);
         // Split disjoint mutable views off `owned` in ascending chain
         // order (each chain references a variable at most once).
-        let mut refs: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(targets.len());
-        let mut rest: &mut [Option<&'x mut [f64]>] = &mut owned;
+        let mut refs: Vec<(T, MatMut<'_, T>)> = Vec::with_capacity(targets.len());
+        let mut rest: &mut [Option<&'x mut [T]>] = &mut owned;
         let mut base = 0;
         for &(r, coef) in &targets {
             let (_, tail) = rest.split_at_mut(r - base);
@@ -941,7 +1022,7 @@ fn form_side_streaming<'x>(
         .into_iter()
         .enumerate()
         .map(|(r, o)| match o {
-            Some(buf) => (MatRef::from_slice(buf, grid.rs, grid.cs, grid.cs), 1.0),
+            Some(buf) => (MatRef::from_slice(buf, grid.rs, grid.cs, grid.cs), T::ONE),
             None => {
                 let (bi, scale) = plan.passthrough[r].unwrap();
                 (grid.block(src, bi / grid.bc, bi % grid.bc), scale)
@@ -953,15 +1034,15 @@ fn form_side_streaming<'x>(
 /// One fast recursive step on a divisible core problem, entirely inside
 /// the `ws` region described by `layout`.
 #[allow(clippy::too_many_arguments)]
-fn fast_step(
-    ctx: &Ctx<'_>,
+fn fast_step<T: GemmScalar>(
+    ctx: &Ctx<'_, T>,
     depth: usize,
     leaf_lo: u64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    c: MatMut<'_>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
     layout: &NodeLayout,
-    ws: &mut [f64],
+    ws: &mut [T],
 ) {
     let lp = &ctx.levels[depth];
     let ga = Grid::new(a.rows(), a.cols(), lp.m, lp.k);
@@ -976,8 +1057,8 @@ fn fast_step(
     let (st_buf, child_buf) = rest.split_at_mut(layout.st_len);
 
     // CSE temporaries are shared across all chains of a side.
-    let utemps = eval_temps(&lp.uplan, &ga, &a, par, ut_buf);
-    let vtemps = eval_temps(&lp.vplan, &gb, &b, par, vt_buf);
+    let utemps = eval_temps(&lp.uplan.temps, &ga, &a, par, ut_buf);
+    let vtemps = eval_temps(&lp.vplan.temps, &gb, &b, par, vt_buf);
 
     // Per-multiplication S/T buffers.
     let (mut sbufs, mut tbufs) = carve_st(lp, layout, st_buf);
@@ -986,7 +1067,7 @@ fn fast_step(
     let (sub_rows, sub_cols) = (ga.rs, gb.cs);
     ctx.count(|s| &s.temp_elements, layout.ms_len as u64);
     // Scales piped from singleton S/T columns into the W combination.
-    let mut scales = vec![1.0f64; rank];
+    let mut scales = vec![T::ONE; rank];
 
     let sequentialish = !ctx.scheme.concurrent_children();
 
@@ -1071,21 +1152,20 @@ fn fast_step(
                     );
                 }
             } else {
-                let scale_slots: Vec<std::sync::atomic::AtomicU64> = (0..rank)
-                    .map(|_| std::sync::atomic::AtomicU64::new(0))
-                    .collect();
+                // Each task writes its singleton-scale product into a
+                // disjoint one-element chunk of `scales` — same
+                // disjointness argument as the M_r chunks.
                 rayon::scope(|scope| {
                     let kids = child_chunks(child_buf, layout.child_len, rank);
-                    for ((((r, m_chunk), kid), sbuf), tbuf) in ms_buf
+                    for ((((r, m_chunk), kid), sbuf), (tbuf, slot)) in ms_buf
                         .chunks_mut(layout.m_size)
                         .enumerate()
                         .zip(kids)
                         .zip(sbufs)
-                        .zip(tbufs)
+                        .zip(tbufs.into_iter().zip(scales.chunks_mut(1)))
                     {
                         let utemps = &utemps;
                         let vtemps = &vtemps;
-                        let slots = &scale_slots;
                         scope.spawn(move |_| {
                             // S/T formation is part of the task (§4.2),
                             // hence sequential additions here.
@@ -1109,8 +1189,7 @@ fn fast_step(
                                 false,
                                 tbuf,
                             );
-                            slots[r]
-                                .store((su * tu).to_bits(), std::sync::atomic::Ordering::Relaxed);
+                            slot[0] = su * tu;
                             let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                             run_node(
                                 ctx,
@@ -1124,15 +1203,12 @@ fn fast_step(
                         });
                     }
                 });
-                for (r, slot) in scale_slots.iter().enumerate() {
-                    scales[r] = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
-                }
             }
         }
     }
 
     // Combine: C_ij = Σ_r w_ijr · scale_r · M_r.
-    let ms: Vec<MatRef<'_>> = ms_buf
+    let ms: Vec<MatRef<'_, T>> = ms_buf
         .chunks(layout.m_size)
         .map(|chunk| MatRef::from_slice(chunk, sub_rows, sub_cols, sub_cols))
         .collect();
@@ -1141,7 +1217,7 @@ fn fast_step(
 
 /// Disjoint per-child workspace regions for concurrent (BFS/HYBRID)
 /// tasks; empty slices when the children are leaves.
-fn child_chunks(child_buf: &mut [f64], child_len: usize, rank: usize) -> Vec<&mut [f64]> {
+fn child_chunks<T>(child_buf: &mut [T], child_len: usize, rank: usize) -> Vec<&mut [T]> {
     if child_len == 0 {
         (0..rank).map(|_| Default::default()).collect()
     } else {
@@ -1150,12 +1226,12 @@ fn child_chunks(child_buf: &mut [f64], child_len: usize, rank: usize) -> Vec<&mu
 }
 
 /// Evaluate the W-side plan into the output blocks.
-fn combine_outputs(
-    ctx: &Ctx<'_>,
-    lp: &LevelPlan,
-    ms: &[MatRef<'_>],
-    scales: &[f64],
-    c: MatMut<'_>,
+fn combine_outputs<T: Scalar>(
+    ctx: &Ctx<'_, T>,
+    lp: &LevelPlan<T>,
+    ms: &[MatRef<'_, T>],
+    scales: &[T],
+    c: MatMut<'_, T>,
     par: bool,
 ) {
     let gc = Grid::new(c.rows(), c.cols(), lp.m, lp.n);
@@ -1163,14 +1239,14 @@ fn combine_outputs(
     match ctx.additions {
         AdditionMethod::WriteOnce => {
             for (ij, cb) in cblocks.iter_mut().enumerate() {
-                let terms: Vec<(f64, MatRef<'_>)> = lp.wplan[ij]
+                let terms: Vec<(T, MatRef<'_, T>)> = lp.wplan[ij]
                     .iter()
                     .map(|&(r, coef)| (coef * scales[r], ms[r]))
                     .collect();
                 if par {
-                    kernels::par_lincomb(cb.reborrow(), 0.0, &terms);
+                    kernels::par_lincomb(cb.reborrow(), T::ZERO, &terms);
                 } else {
-                    kernels::lincomb(cb.reborrow(), 0.0, &terms);
+                    kernels::lincomb(cb.reborrow(), T::ZERO, &terms);
                 }
             }
         }
@@ -1178,13 +1254,13 @@ fn combine_outputs(
             for (ij, cb) in cblocks.iter_mut().enumerate() {
                 let chain = &lp.wplan[ij];
                 if chain.is_empty() {
-                    cb.fill(0.0);
+                    cb.fill(T::ZERO);
                     continue;
                 }
                 let (r0, c0) = chain[0];
                 if par {
                     kernels::par_copy(cb.reborrow(), ms[r0]);
-                    if c0 * scales[r0] != 1.0 {
+                    if c0 * scales[r0] != T::ONE {
                         kernels::scale(cb.reborrow(), c0 * scales[r0]);
                     }
                     for &(r, coef) in &chain[1..] {
@@ -1200,11 +1276,11 @@ fn combine_outputs(
         }
         AdditionMethod::Streaming => {
             for cb in cblocks.iter_mut() {
-                cb.fill(0.0);
+                cb.fill(T::ZERO);
             }
             // Read each M_r once, updating every output block that uses it.
             for (r, m) in ms.iter().enumerate() {
-                let mut refs: Vec<(f64, MatMut<'_>)> = Vec::new();
+                let mut refs: Vec<(T, MatMut<'_, T>)> = Vec::new();
                 for (ij, cb) in cblocks.iter_mut().enumerate() {
                     if let Some(&(_, coef)) = lp.wplan[ij].iter().find(|&&(rr, _)| rr == r) {
                         refs.push((coef * scales[r], cb.reborrow()));

@@ -82,6 +82,24 @@
 //! [`FastMul`] remains as the low-level, shape-agnostic path (one
 //! right-sized workspace allocation per call) for callers that multiply
 //! each shape once.
+//!
+//! # Element types
+//!
+//! Every layer here is generic over [`fmm_matrix::Scalar`] (through
+//! the [`GemmScalar`] bound that adds the per-type packed microkernel),
+//! with `f64` as the default type parameter everywhere: `Plan`,
+//! `Workspace`, `FastMul`, `FmmEngine` written without a parameter mean
+//! exactly what they did before generics. `f32` is the second shipped
+//! instantiation — `Planner::plan::<f32>()`,
+//! `FmmEngine::<f32>::builder()` — with decomposition coefficients
+//! injected once per level at plan time via
+//! [`fmm_matrix::Scalar::from_coeff`]. That injection is fallible by
+//! design ([`PlanError::UnrepresentableCoefficient`]): a future
+//! non-field semiring backend (e.g. bit-packed GF(2)) rejects
+//! fractional APA coefficients there instead of computing nonsense.
+//! [`GemmProfile`] is measured on the f64 gemm; its §3.4 depth
+//! recommendation is reused for every dtype (the performance *shape* —
+//! ramp-up then plateau — is what the rule needs, and it transfers).
 
 mod accuracy;
 pub mod codegen;
@@ -92,24 +110,32 @@ pub mod plan;
 mod planner;
 mod workspace;
 
-pub use accuracy::{forward_error, max_rel_error_vs_classical};
+pub use accuracy::{
+    forward_error, forward_error_in, max_rel_error_vs_classical, max_rel_error_vs_classical_in,
+};
 pub use codegen::generate_rust;
 pub use cutoff::GemmProfile;
 pub use engine::{EngineBuilder, EngineError, EngineStats, FmmEngine, MultiplyHandle};
 pub use executor::{
     AdditionMethod, BorderHandling, ExecStats, ExecStatsSnapshot, FastMul, Options, Scheme,
 };
-pub use fmm_gemm::{classical_flops, effective_gflops};
+pub use fmm_gemm::{classical_flops, effective_gflops, GemmScalar};
 pub use plan::{cse_stats, CseStats};
 pub use planner::{Plan, PlanError, Planner};
 pub use workspace::Workspace;
 
-use fmm_matrix::Matrix;
+use fmm_matrix::DenseMatrix;
 use fmm_tensor::Decomposition;
 
 /// One-call helper: multiply with a fast algorithm using default
-/// options and the given number of recursive steps.
-pub fn fast_multiply(dec: &Decomposition, a: &Matrix, b: &Matrix, steps: usize) -> Matrix {
+/// options and the given number of recursive steps. Generic over the
+/// element type (inferred from the operands).
+pub fn fast_multiply<T: GemmScalar>(
+    dec: &Decomposition,
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    steps: usize,
+) -> DenseMatrix<T> {
     FastMul::new(
         dec,
         Options {

@@ -19,11 +19,12 @@ use crate::executor::{
     LevelPlan, Options, Scheme,
 };
 use crate::workspace::Workspace;
-use fmm_matrix::Matrix;
+use fmm_gemm::GemmScalar;
+use fmm_matrix::DenseMatrix;
 use fmm_tensor::Decomposition;
 
 /// Why [`Planner::plan`] could not produce a [`Plan`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
     /// No problem shape was given ([`Planner::shape`] is mandatory —
     /// the workspace footprint depends on it).
@@ -39,6 +40,16 @@ pub enum PlanError {
         schedule_len: usize,
         /// The conflicting explicit steps value.
         steps: usize,
+    },
+    /// A decomposition coefficient is not representable in the target
+    /// element type ([`fmm_matrix::Scalar::from_coeff`] returned `None`). Cannot
+    /// happen for the float types; this is the designed rejection path
+    /// for non-field semiring backends fed fractional APA coefficients.
+    UnrepresentableCoefficient {
+        /// The offending coefficient, as stored in the `.alg` data.
+        value: f64,
+        /// The element type that rejected it.
+        dtype: &'static str,
     },
 }
 
@@ -58,6 +69,10 @@ impl std::fmt::Display for PlanError {
                 f,
                 "steps({steps}) conflicts with schedule length {schedule_len}; \
                  the schedule length is authoritative"
+            ),
+            PlanError::UnrepresentableCoefficient { value, dtype } => write!(
+                f,
+                "decomposition coefficient {value} is not representable in {dtype}"
             ),
         }
     }
@@ -255,7 +270,13 @@ impl Planner {
     }
 
     /// Resolve the configuration into an immutable [`Plan`].
-    pub fn plan(self) -> Result<Plan, PlanError> {
+    ///
+    /// Generic over the element type the plan will execute in; `T`
+    /// defaults to `f64` through [`Plan`]'s own default parameter and
+    /// is normally inferred from the matrices later passed to
+    /// [`Plan::execute`]. Request single precision explicitly with
+    /// `planner.plan::<f32>()`.
+    pub fn plan<T: GemmScalar>(self) -> Result<Plan<T>, PlanError> {
         let shape = self.shape.ok_or(PlanError::MissingShape)?;
         let schedule: Vec<Decomposition> = match &self.alg {
             AlgChoice::None => return Err(PlanError::MissingAlgorithm),
@@ -301,10 +322,17 @@ impl Planner {
             scheme: self.scheme,
             border: self.border,
         };
-        let levels: Vec<LevelPlan> = schedule
+        let levels: Vec<LevelPlan<T>> = schedule
             .iter()
-            .map(|d| LevelPlan::new(d, opts.cse))
-            .collect();
+            .map(|d| {
+                LevelPlan::try_new(d, opts.cse).map_err(|value| {
+                    PlanError::UnrepresentableCoefficient {
+                        value,
+                        dtype: T::NAME,
+                    }
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let ws_len = required_workspace(&levels, &opts, shape.0, shape.1, shape.2);
         Ok(Plan {
             levels,
@@ -316,17 +344,19 @@ impl Planner {
 }
 
 /// An immutable, shape-specialized execution plan: per-level addition
-/// plans plus the precomputed temporary footprint of the whole
-/// recursion tree. Produced by [`Planner::plan`]; executed repeatedly
-/// against a [`Workspace`] with zero per-call allocation.
-pub struct Plan {
-    levels: Vec<LevelPlan>,
+/// plans (coefficients pre-injected into the element type) plus the
+/// precomputed temporary footprint of the whole recursion tree.
+/// Produced by [`Planner::plan`]; executed repeatedly against a
+/// [`Workspace`] with zero per-call allocation. `Plan` (no parameter)
+/// is a `Plan<f64>`.
+pub struct Plan<T = f64> {
+    levels: Vec<LevelPlan<T>>,
     opts: Options,
     shape: (usize, usize, usize),
     ws_len: usize,
 }
 
-impl Plan {
+impl<T: GemmScalar> Plan<T> {
     /// The `(m, k, n)` problem shape this plan is specialized for.
     pub fn shape(&self) -> (usize, usize, usize) {
         self.shape
@@ -343,16 +373,16 @@ impl Plan {
         self.opts
     }
 
-    /// Exact workspace requirement in f64 elements: every S/T/M buffer,
-    /// CSE temporary and padding copy of the recursion tree, summed
-    /// with per-task reservations under BFS/HYBRID.
+    /// Exact workspace requirement in scalar elements: every S/T/M
+    /// buffer, CSE temporary and padding copy of the recursion tree,
+    /// summed with per-task reservations under BFS/HYBRID.
     pub fn workspace_len(&self) -> usize {
         self.ws_len
     }
 
-    /// [`Plan::workspace_len`] in bytes.
+    /// [`Plan::workspace_len`] in bytes (of this plan's element type).
     pub fn workspace_bytes(&self) -> usize {
-        self.ws_len * std::mem::size_of::<f64>()
+        self.ws_len * std::mem::size_of::<T>()
     }
 
     /// `C = A · B`. After the first call on a given `workspace`,
@@ -360,7 +390,13 @@ impl Plan {
     ///
     /// # Panics
     /// Panics when the operand shapes differ from [`Plan::shape`].
-    pub fn execute(&self, a: &Matrix, b: &Matrix, c: &mut Matrix, workspace: &mut Workspace) {
+    pub fn execute(
+        &self,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        c: &mut DenseMatrix<T>,
+        workspace: &mut Workspace<T>,
+    ) {
         self.exec(a, b, c, workspace, None);
     }
 
@@ -369,10 +405,10 @@ impl Plan {
     /// workspace buffer was reused without growing.
     pub fn execute_with_stats(
         &self,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
-        workspace: &mut Workspace,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        c: &mut DenseMatrix<T>,
+        workspace: &mut Workspace<T>,
     ) -> ExecStatsSnapshot {
         let stats = ExecStats::default();
         let steals_before = fmm_runtime::steal_count();
@@ -383,10 +419,10 @@ impl Plan {
 
     fn exec(
         &self,
-        a: &Matrix,
-        b: &Matrix,
-        c: &mut Matrix,
-        workspace: &mut Workspace,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        c: &mut DenseMatrix<T>,
+        workspace: &mut Workspace<T>,
         stats: Option<&ExecStats>,
     ) -> bool {
         let (m, k, n) = self.shape;
@@ -414,10 +450,14 @@ impl Plan {
     /// return the fresh outputs. All problems must have the planned
     /// shape. For allocation-free repeated batches, keep the outputs
     /// and workspaces and use [`Plan::execute_batch_into`].
-    pub fn execute_batch(&self, batch: &[(&Matrix, &Matrix)]) -> Vec<Matrix> {
+    pub fn execute_batch(
+        &self,
+        batch: &[(&DenseMatrix<T>, &DenseMatrix<T>)],
+    ) -> Vec<DenseMatrix<T>> {
         let (m, _, n) = self.shape;
-        let mut outs: Vec<Matrix> = batch.iter().map(|_| Matrix::zeros(m, n)).collect();
-        let mut workspaces: Vec<Workspace> =
+        let mut outs: Vec<DenseMatrix<T>> =
+            batch.iter().map(|_| DenseMatrix::zeros(m, n)).collect();
+        let mut workspaces: Vec<Workspace<T>> =
             batch.iter().map(|_| Workspace::for_plan(self)).collect();
         self.execute_batch_into(batch, &mut outs, &mut workspaces);
         outs
@@ -432,9 +472,9 @@ impl Plan {
     /// differs from the planned shape.
     pub fn execute_batch_into(
         &self,
-        batch: &[(&Matrix, &Matrix)],
-        outs: &mut [Matrix],
-        workspaces: &mut [Workspace],
+        batch: &[(&DenseMatrix<T>, &DenseMatrix<T>)],
+        outs: &mut [DenseMatrix<T>],
+        workspaces: &mut [Workspace<T>],
     ) {
         assert_eq!(batch.len(), outs.len(), "one output per batch problem");
         assert_eq!(
@@ -479,7 +519,7 @@ mod tests {
             .shape(512, 512, 512)
             .algorithm(&strassen())
             .profile(flat_profile())
-            .plan()
+            .plan::<f64>()
             .unwrap();
         assert!(plan.depth() > 0, "flat profile must recurse Strassen");
 
@@ -487,7 +527,7 @@ mod tests {
             .shape(512, 512, 512)
             .algorithm(&classical(2, 2, 2))
             .profile(flat_profile())
-            .plan()
+            .plan::<f64>()
             .unwrap();
         assert_eq!(plan.depth(), 0, "classical has no speedup, never pays");
     }
@@ -499,7 +539,7 @@ mod tests {
             .shape(256, 256, 256)
             .auto_algorithm(&cands)
             .profile(flat_profile())
-            .plan()
+            .plan::<f64>()
             .unwrap();
         assert!(plan.depth() > 0);
         let lv = plan.options();
@@ -509,18 +549,18 @@ mod tests {
     #[test]
     fn plan_errors_are_reported() {
         assert_eq!(
-            Planner::new().algorithm(&strassen()).plan().err(),
+            Planner::new().algorithm(&strassen()).plan::<f64>().err(),
             Some(PlanError::MissingShape)
         );
         assert_eq!(
-            Planner::new().shape(8, 8, 8).plan().err(),
+            Planner::new().shape(8, 8, 8).plan::<f64>().err(),
             Some(PlanError::MissingAlgorithm)
         );
         assert_eq!(
             Planner::new()
                 .shape(8, 8, 8)
                 .auto_algorithm(&[])
-                .plan()
+                .plan::<f64>()
                 .err(),
             Some(PlanError::EmptyCatalog)
         );
@@ -531,7 +571,7 @@ mod tests {
                 .shape(8, 8, 8)
                 .schedule(&sched)
                 .steps(3)
-                .plan()
+                .plan::<f64>()
                 .err(),
             Some(PlanError::StepsConflict {
                 schedule_len: 2,
@@ -544,7 +584,7 @@ mod tests {
                 .shape(8, 8, 8)
                 .schedule(&sched)
                 .steps(0)
-                .plan()
+                .plan::<f64>()
                 .unwrap()
                 .depth(),
             2

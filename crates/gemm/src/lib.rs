@@ -3,7 +3,7 @@
 //! The paper's experiments compare fast algorithms against Intel MKL's
 //! `dgemm`. MKL is proprietary and unavailable here, so this crate is the
 //! vendor-BLAS stand-in: a cache-blocked, operand-packing, register-tiled
-//! classical `dgemm` (in the BLIS/GotoBLAS style) with a rayon-parallel
+//! classical gemm (in the BLIS/GotoBLAS style) with a rayon-parallel
 //! driver. It reproduces the *performance shape* the experiments rely on —
 //! a ramp-up phase followed by a flat plateau (paper Fig. 3) and a flop
 //! rate that dominates the bandwidth-bound additions — which is what
@@ -13,6 +13,15 @@
 //! [`gemm`] (sequential leaves, BFS scheme) or [`par_gemm`] (DFS/HYBRID
 //! leaves), exactly as the paper's generated code calls `dgemm` with one
 //! or all threads.
+//!
+//! # Element types
+//!
+//! The blocking/packing pipeline is generic over
+//! [`fmm_matrix::Scalar`]; what is *specialized per type* is the
+//! register microkernel tile, selected by the [`GemmScalar`] impl:
+//! `f64` keeps the original `4 × 8` tile, `f32` uses `4 × 16` — the
+//! same number of vector registers, twice the elements per register —
+//! which is where the dtype's 2× SIMD/bandwidth advantage materializes.
 
 mod config;
 mod naive;
@@ -21,23 +30,88 @@ mod parallel;
 
 pub use config::GemmConfig;
 pub use naive::naive_gemm;
-pub use packed::gemm_with;
 pub use parallel::{par_gemm, par_gemm_with};
 
-use fmm_matrix::{MatMut, MatRef};
+use fmm_matrix::{DenseMatrix, MatMut, MatRef, Scalar};
+
+/// A [`Scalar`] with a tuned packed-gemm instantiation: the dispatch
+/// point where each element type picks its register tile. This is the
+/// bound the executor/engine layers require — a future semiring backend
+/// implements it once (the default body falls back to the naive
+/// triple loop, which is always correct) and the whole stack serves it.
+pub trait GemmScalar: Scalar {
+    /// Sequential packed `C ← α·A·B + β·C` with this scalar's register
+    /// tile.
+    fn packed_gemm(
+        cfg: &GemmConfig,
+        alpha: Self,
+        a: MatRef<'_, Self>,
+        b: MatRef<'_, Self>,
+        beta: Self,
+        c: MatMut<'_, Self>,
+    ) {
+        let _ = cfg;
+        naive_gemm(alpha, a, b, beta, c);
+    }
+}
+
+impl GemmScalar for f64 {
+    fn packed_gemm(
+        cfg: &GemmConfig,
+        alpha: Self,
+        a: MatRef<'_, Self>,
+        b: MatRef<'_, Self>,
+        beta: Self,
+        c: MatMut<'_, Self>,
+    ) {
+        packed::gemm_tiles::<f64, { packed::MR }, { packed::NR }>(cfg, alpha, a, b, beta, c);
+    }
+}
+
+impl GemmScalar for f32 {
+    fn packed_gemm(
+        cfg: &GemmConfig,
+        alpha: Self,
+        a: MatRef<'_, Self>,
+        b: MatRef<'_, Self>,
+        beta: Self,
+        c: MatMut<'_, Self>,
+    ) {
+        // Same register budget as the f64 tile, twice the lanes.
+        packed::gemm_tiles::<f32, 4, 16>(cfg, alpha, a, b, beta, c);
+    }
+}
+
+/// Sequential `C ← α·A·B + β·C` with explicit blocking configuration.
+pub fn gemm_with<T: GemmScalar>(
+    cfg: &GemmConfig,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    T::packed_gemm(cfg, alpha, a, b, beta, c);
+}
 
 /// Sequential `C ← α·A·B + β·C` with the default blocking configuration.
 ///
 /// Shapes: `A: m×k`, `B: k×n`, `C: m×n`.
-pub fn gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+pub fn gemm<T: GemmScalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
     gemm_with(&GemmConfig::default(), alpha, a, b, beta, c);
 }
 
 /// Convenience wrapper: `C = A·B` as a new owned matrix.
-pub fn matmul(a: &fmm_matrix::Matrix, b: &fmm_matrix::Matrix) -> fmm_matrix::Matrix {
+pub fn matmul<T: GemmScalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
     assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
-    let mut c = fmm_matrix::Matrix::zeros(a.rows(), b.cols());
-    gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    gemm(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, c.as_mut());
     c
 }
 
@@ -65,6 +139,33 @@ mod tests {
         let i4 = Matrix::identity(4);
         assert_eq!(matmul(&a, &i4), a);
         assert_eq!(matmul(&i4, &a), a);
+    }
+
+    #[test]
+    fn matmul_identity_f32() {
+        let a = DenseMatrix::<f32>::from_fn(4, 4, |i, j| (i * 4 + j) as f32);
+        let i4 = DenseMatrix::<f32>::identity(4);
+        assert_eq!(matmul(&a, &i4), a);
+        assert_eq!(matmul(&i4, &a), a);
+    }
+
+    #[test]
+    fn f32_matches_f64_on_integer_inputs() {
+        // Integer-valued operands small enough that every partial sum is
+        // exact in f32: the two dtypes must agree exactly, proving the
+        // wider f32 tile drops/duplicates nothing.
+        let n = 48;
+        let a64 = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let b64 = Matrix::from_fn(n, n, |i, j| ((3 * i + j) % 7) as f64 - 3.0);
+        let a32 = DenseMatrix::<f32>::from_fn(n, n, |i, j| ((i + 2 * j) % 5) as f32 - 2.0);
+        let b32 = DenseMatrix::<f32>::from_fn(n, n, |i, j| ((3 * i + j) % 7) as f32 - 3.0);
+        let c64 = matmul(&a64, &b64);
+        let c32 = matmul(&a32, &b32);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c64[(i, j)], c32[(i, j)] as f64, "at ({i},{j})");
+            }
+        }
     }
 
     #[test]

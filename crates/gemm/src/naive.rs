@@ -1,11 +1,17 @@
 //! Reference triple-loop gemm used as the correctness oracle.
 
-use fmm_matrix::{MatMut, MatRef};
+use fmm_matrix::{MatMut, MatRef, Scalar};
 
 /// `C ← α·A·B + β·C`, textbook i-k-j loop order (no blocking, no
-/// packing). Every other multiply in the workspace is tested against
-/// this implementation.
-pub fn naive_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+/// packing), for any element type. Every other multiply in the
+/// workspace is tested against this implementation.
+pub fn naive_gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(b.rows(), k, "inner dimension mismatch");
@@ -14,9 +20,9 @@ pub fn naive_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: Ma
 
     for i in 0..m {
         let crow = c.row_mut(i);
-        if beta == 0.0 {
-            crow.iter_mut().for_each(|x| *x = 0.0);
-        } else if beta != 1.0 {
+        if beta == T::ZERO {
+            crow.iter_mut().for_each(|x| *x = T::ZERO);
+        } else if beta != T::ONE {
             crow.iter_mut().for_each(|x| *x *= beta);
         }
     }
@@ -24,7 +30,7 @@ pub fn naive_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: Ma
         let arow = a.row(i);
         for (p, &av) in arow.iter().enumerate() {
             let aip = alpha * av;
-            if aip == 0.0 {
+            if aip == T::ZERO {
                 continue;
             }
             let brow = b.row(p);

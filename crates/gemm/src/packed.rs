@@ -5,24 +5,32 @@
 //! are packed into contiguous, microkernel-ordered buffers; the inner
 //! register kernel computes an `MR × NR` tile of `C` with local
 //! accumulators that LLVM keeps in vector registers.
+//!
+//! The whole pipeline is generic over the element type; the register
+//! tile `MR × NR` is chosen **per scalar** by the
+//! [`crate::GemmScalar`] impls — `4 × 8` for `f64` (unchanged from the
+//! original f64-only kernel) and `4 × 16` for `f32`, which keeps the
+//! accumulator footprint at the same number of vector registers while
+//! doubling the elements per register.
 
 use crate::config::GemmConfig;
 use crate::naive::naive_gemm;
-use fmm_matrix::{MatMut, MatRef};
+use fmm_matrix::{MatMut, MatRef, Scalar};
 
-/// Microkernel tile rows.
+/// Microkernel tile rows of the `f64` instantiation.
 pub const MR: usize = 4;
-/// Microkernel tile columns.
+/// Microkernel tile columns of the `f64` instantiation.
 pub const NR: usize = 8;
 
-/// Sequential `C ← α·A·B + β·C` with explicit blocking configuration.
-pub fn gemm_with(
+/// Sequential `C ← α·A·B + β·C` with explicit blocking configuration
+/// and a compile-time `MR_ × NR_` register tile.
+pub(crate) fn gemm_tiles<T: Scalar, const MR_: usize, const NR_: usize>(
     cfg: &GemmConfig,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    mut c: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
 ) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
@@ -35,27 +43,27 @@ pub fn gemm_with(
     }
 
     // Apply beta once up front; all panel updates below accumulate.
-    if beta == 0.0 {
+    if beta == T::ZERO {
         for i in 0..m {
-            c.row_mut(i).iter_mut().for_each(|x| *x = 0.0);
+            c.row_mut(i).iter_mut().for_each(|x| *x = T::ZERO);
         }
-    } else if beta != 1.0 {
+    } else if beta != T::ONE {
         for i in 0..m {
             c.row_mut(i).iter_mut().for_each(|x| *x *= beta);
         }
     }
-    if k == 0 || alpha == 0.0 {
+    if k == 0 || alpha == T::ZERO {
         return;
     }
 
     if m.max(n).max(k) <= cfg.small_cutoff {
         // Packing overhead dominates tiny products; accumulate directly.
-        naive_gemm(alpha, a, b, 1.0, c);
+        naive_gemm(alpha, a, b, T::ONE, c);
         return;
     }
 
-    let mut apack = vec![0.0f64; cfg.mc.div_ceil(MR) * MR * cfg.kc];
-    let mut bpack = vec![0.0f64; cfg.kc * cfg.nc.div_ceil(NR) * NR];
+    let mut apack = vec![T::ZERO; cfg.mc.div_ceil(MR_) * MR_ * cfg.kc];
+    let mut bpack = vec![T::ZERO; cfg.kc * cfg.nc.div_ceil(NR_) * NR_];
 
     let mut jc = 0;
     while jc < n {
@@ -63,12 +71,12 @@ pub fn gemm_with(
         let mut pc = 0;
         while pc < k {
             let kc_eff = cfg.kc.min(k - pc);
-            pack_b(&mut bpack, &b, pc, jc, kc_eff, nc_eff);
+            pack_b::<T, NR_>(&mut bpack, &b, pc, jc, kc_eff, nc_eff);
             let mut ic = 0;
             while ic < m {
                 let mc_eff = cfg.mc.min(m - ic);
-                pack_a(&mut apack, &a, ic, pc, mc_eff, kc_eff, alpha);
-                macro_kernel(
+                pack_a::<T, MR_>(&mut apack, &a, ic, pc, mc_eff, kc_eff, alpha);
+                macro_kernel::<T, MR_, NR_>(
                     &apack,
                     &bpack,
                     c.reborrow().into_block(ic, jc, mc_eff, nc_eff),
@@ -86,56 +94,82 @@ pub fn gemm_with(
 
 /// Pack `mc × kc` of `A` (starting at `(ic, pc)`) into MR-row micro-panels,
 /// folding `alpha` into the packed values. Ragged edges are zero-padded.
-fn pack_a(buf: &mut [f64], a: &MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, alpha: f64) {
+fn pack_a<T: Scalar, const MR_: usize>(
+    buf: &mut [T],
+    a: &MatRef<'_, T>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    alpha: T,
+) {
     let mut idx = 0;
     let mut i0 = 0;
     while i0 < mc {
-        let mr_eff = MR.min(mc - i0);
+        let mr_eff = MR_.min(mc - i0);
         for p in 0..kc {
-            for i in 0..MR {
+            for i in 0..MR_ {
                 buf[idx] = if i < mr_eff {
                     alpha * a.get(ic + i0 + i, pc + p)
                 } else {
-                    0.0
+                    T::ZERO
                 };
                 idx += 1;
             }
         }
-        i0 += MR;
+        i0 += MR_;
     }
 }
 
 /// Pack `kc × nc` of `B` (starting at `(pc, jc)`) into NR-column
 /// micro-panels. Ragged edges are zero-padded.
-fn pack_b(buf: &mut [f64], b: &MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize) {
+fn pack_b<T: Scalar, const NR_: usize>(
+    buf: &mut [T],
+    b: &MatRef<'_, T>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+) {
     let mut idx = 0;
     let mut j0 = 0;
     while j0 < nc {
-        let nr_eff = NR.min(nc - j0);
+        let nr_eff = NR_.min(nc - j0);
         for p in 0..kc {
             let brow = b.row(pc + p);
-            for j in 0..NR {
-                buf[idx] = if j < nr_eff { brow[jc + j0 + j] } else { 0.0 };
+            for j in 0..NR_ {
+                buf[idx] = if j < nr_eff {
+                    brow[jc + j0 + j]
+                } else {
+                    T::ZERO
+                };
                 idx += 1;
             }
         }
-        j0 += NR;
+        j0 += NR_;
     }
 }
 
 /// Multiply the packed panels into the `mc × nc` block of `C`.
-fn macro_kernel(apack: &[f64], bpack: &[f64], mut c: MatMut<'_>, mc: usize, nc: usize, kc: usize) {
+fn macro_kernel<T: Scalar, const MR_: usize, const NR_: usize>(
+    apack: &[T],
+    bpack: &[T],
+    mut c: MatMut<'_, T>,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
     let mut j0 = 0;
     let mut bcol = 0;
     while j0 < nc {
-        let nr_eff = NR.min(nc - j0);
-        let bpanel = &bpack[bcol * kc * NR..(bcol + 1) * kc * NR];
+        let nr_eff = NR_.min(nc - j0);
+        let bpanel = &bpack[bcol * kc * NR_..(bcol + 1) * kc * NR_];
         let mut i0 = 0;
         let mut arow = 0;
         while i0 < mc {
-            let mr_eff = MR.min(mc - i0);
-            let apanel = &apack[arow * kc * MR..(arow + 1) * kc * MR];
-            micro_kernel(
+            let mr_eff = MR_.min(mc - i0);
+            let apanel = &apack[arow * kc * MR_..(arow + 1) * kc * MR_];
+            micro_kernel::<T, MR_, NR_>(
                 apanel,
                 bpanel,
                 kc,
@@ -143,34 +177,34 @@ fn macro_kernel(apack: &[f64], bpack: &[f64], mut c: MatMut<'_>, mc: usize, nc: 
                 mr_eff,
                 nr_eff,
             );
-            i0 += MR;
+            i0 += MR_;
             arow += 1;
         }
-        j0 += NR;
+        j0 += NR_;
         bcol += 1;
     }
 }
 
 /// `MR × NR` register tile: `C_tile += Apanel · Bpanel`.
 #[inline]
-fn micro_kernel(
-    apanel: &[f64],
-    bpanel: &[f64],
+fn micro_kernel<T: Scalar, const MR_: usize, const NR_: usize>(
+    apanel: &[T],
+    bpanel: &[T],
     kc: usize,
-    mut c: MatMut<'_>,
+    mut c: MatMut<'_, T>,
     mr_eff: usize,
     nr_eff: usize,
 ) {
-    let mut acc = [[0.0f64; NR]; MR];
-    debug_assert!(apanel.len() >= kc * MR);
-    debug_assert!(bpanel.len() >= kc * NR);
+    let mut acc = [[T::ZERO; NR_]; MR_];
+    debug_assert!(apanel.len() >= kc * MR_);
+    debug_assert!(bpanel.len() >= kc * NR_);
     for p in 0..kc {
-        let arow = &apanel[p * MR..p * MR + MR];
-        let brow = &bpanel[p * NR..p * NR + NR];
-        for i in 0..MR {
+        let arow = &apanel[p * MR_..p * MR_ + MR_];
+        let brow = &bpanel[p * NR_..p * NR_ + NR_];
+        for i in 0..MR_ {
             let aip = arow[i];
             let acc_i = &mut acc[i];
-            for j in 0..NR {
+            for j in 0..NR_ {
                 acc_i[j] += aip * brow[j];
             }
         }
@@ -185,10 +219,12 @@ fn micro_kernel(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use fmm_matrix::{max_abs_diff, Matrix};
+    use crate::{gemm_with, GemmConfig};
+    use fmm_matrix::{max_abs_diff, DenseMatrix, Matrix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    use crate::naive::naive_gemm;
 
     fn check(m: usize, k: usize, n: usize, alpha: f64, beta: f64, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -213,6 +249,29 @@ mod tests {
         );
     }
 
+    fn check_f32(m: usize, k: usize, n: usize, alpha: f32, beta: f32, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = DenseMatrix::<f32>::random(m, k, &mut rng);
+        let b = DenseMatrix::<f32>::random(k, n, &mut rng);
+        let c0 = DenseMatrix::<f32>::random(m, n, &mut rng);
+        let mut c_ref = c0.clone();
+        let mut c_pack = c0.clone();
+        naive_gemm(alpha, a.as_ref(), b.as_ref(), beta, c_ref.as_mut());
+        gemm_with(
+            &GemmConfig::default(),
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            c_pack.as_mut(),
+        );
+        let d = max_abs_diff(&c_ref.as_ref(), &c_pack.as_ref()).unwrap();
+        assert!(
+            d < 1e-4 * (k as f64).max(1.0),
+            "mismatch {d} for f32 {m}x{k}x{n} α={alpha} β={beta}"
+        );
+    }
+
     #[test]
     fn matches_naive_on_assorted_shapes() {
         check(1, 1, 1, 1.0, 0.0, 1);
@@ -221,6 +280,20 @@ mod tests {
         check(128, 128, 128, 1.0, 0.0, 4);
         check(200, 30, 170, 1.0, 0.0, 5);
         check(31, 257, 63, 1.0, 0.0, 6);
+    }
+
+    #[test]
+    fn f32_matches_naive_on_assorted_shapes() {
+        // Shapes straddle the f32 tile edges (NR = 16) and the small
+        // cutoff, so panel raggedness in the wider tile is exercised.
+        check_f32(1, 1, 1, 1.0, 0.0, 1);
+        check_f32(4, 8, 4, 1.0, 0.0, 2);
+        check_f32(33, 65, 47, 1.0, 0.0, 3);
+        check_f32(128, 128, 128, 1.0, 0.0, 4);
+        check_f32(200, 30, 170, 1.0, 0.0, 5);
+        check_f32(31, 257, 63, 1.0, 0.0, 6);
+        check_f32(50, 50, 50, 2.0, 1.0, 7);
+        check_f32(50, 50, 50, -0.5, 0.5, 8);
     }
 
     #[test]

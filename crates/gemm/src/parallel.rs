@@ -10,8 +10,9 @@
 //! this machine's scale — or under an `FMM_THREADS` override.
 
 use crate::config::GemmConfig;
-use crate::packed::gemm_with;
 use fmm_matrix::{MatMut, MatRef};
+
+use crate::{gemm_with, GemmScalar};
 
 /// Below this many output elements a split is never worthwhile.
 const MIN_PAR_ELEMS: usize = 64 * 64;
@@ -23,18 +24,24 @@ const OVERSPLIT: usize = 2;
 
 /// Parallel `C ← α·A·B + β·C` using the current rayon pool and the
 /// default blocking configuration.
-pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+pub fn par_gemm<T: GemmScalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
     par_gemm_with(&GemmConfig::default(), alpha, a, b, beta, c);
 }
 
 /// Parallel gemm with explicit blocking configuration.
-pub fn par_gemm_with(
+pub fn par_gemm_with<T: GemmScalar>(
     cfg: &GemmConfig,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
 ) {
     assert_eq!(b.rows(), a.cols(), "inner dimension mismatch");
     assert_eq!(c.rows(), a.rows(), "output rows mismatch");
@@ -48,13 +55,13 @@ pub fn par_gemm_with(
     split_run(cfg, alpha, a, b, beta, c, ways);
 }
 
-fn split_run(
+fn split_run<T: GemmScalar>(
     cfg: &GemmConfig,
-    alpha: f64,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
-    beta: f64,
-    c: MatMut<'_>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
     ways: usize,
 ) {
     let (m, n) = (c.rows(), c.cols());

@@ -1,35 +1,46 @@
-//! Owned dense row-major matrix.
+//! Owned dense row-major matrix, generic over the element type.
 
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 use rand::Rng;
 use std::fmt;
 
-/// An owned, dense, row-major matrix of `f64` values.
+/// An owned, dense, row-major matrix of [`Scalar`] values.
 ///
 /// Entry `(i, j)` lives at `data[i * cols + j]`. The row-major layout
 /// matches the row-wise vectorization used by the tensor formulation of
 /// matrix multiplication (paper §2.2.2), so `vec(A)` is simply the backing
 /// slice of `A`.
+///
+/// The element type defaults to `f64`, and the [`crate::Matrix`] alias
+/// pins it there — existing `Matrix` call sites never see the type
+/// parameter. Instantiate other element types explicitly:
+///
+/// ```
+/// use fmm_matrix::DenseMatrix;
+/// let m = DenseMatrix::<f32>::filled(2, 2, 1.5);
+/// assert_eq!(m[(1, 1)], 1.5f32);
+/// ```
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct DenseMatrix<T = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Matrix {
+impl<T: Scalar> DenseMatrix<T> {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
+        DenseMatrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![T::ZERO; rows * cols],
         }
     }
 
     /// A `rows × cols` matrix with every entry equal to `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix {
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        DenseMatrix {
             rows,
             cols,
             data: vec![value; rows * cols],
@@ -38,40 +49,40 @@ impl Matrix {
 
     /// The `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        let mut m = Matrix::zeros(n, n);
+        let mut m = DenseMatrix::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = T::ONE;
         }
         m
     }
 
     /// Build a matrix from a generator function on `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
                 data.push(f(i, j));
             }
         }
-        Matrix { rows, cols, data }
+        DenseMatrix { rows, cols, data }
     }
 
     /// Build a matrix from a row-major data vector.
     ///
     /// # Panics
     /// Panics when `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
             "from_vec: data length {} does not match {rows}x{cols}",
             data.len()
         );
-        Matrix { rows, cols, data }
+        DenseMatrix { rows, cols, data }
     }
 
     /// Build a matrix from nested row slices; rows must be equal length.
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[T]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
         let mut data = Vec::with_capacity(r * c);
@@ -79,20 +90,21 @@ impl Matrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix {
+        DenseMatrix {
             rows: r,
             cols: c,
             data,
         }
     }
 
-    /// A matrix with i.i.d. entries drawn uniformly from `[-1, 1)`.
+    /// A matrix with i.i.d. entries drawn uniformly from `[-1, 1)`
+    /// ([`Scalar::sample_unit`]).
     ///
     /// Used by every workload generator in the experiment harness; the
     /// paper benchmarks on random dense matrices.
     pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        Matrix { rows, cols, data }
+        let data = (0..rows * cols).map(|_| T::sample_unit(rng)).collect();
+        DenseMatrix { rows, cols, data }
     }
 
     /// Number of rows.
@@ -115,96 +127,100 @@ impl Matrix {
 
     /// Backing row-major slice (`vec(A)` in the paper's notation).
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable backing slice.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Immutable full view of the matrix.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, T> {
         MatRef::from_slice(&self.data, self.rows, self.cols, self.cols)
     }
 
     /// Mutable full view of the matrix.
     #[inline]
-    pub fn as_mut(&mut self) -> MatMut<'_> {
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
         MatMut::from_slice(&mut self.data, self.rows, self.cols, self.cols)
     }
 
     /// Immutable view of the `rr × cc` block whose top-left corner is `(r0, c0)`.
     #[inline]
-    pub fn block(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'_> {
+    pub fn block(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'_, T> {
         self.as_ref().block(r0, c0, rr, cc)
     }
 
     /// Mutable view of the `rr × cc` block whose top-left corner is `(r0, c0)`.
     #[inline]
-    pub fn block_mut(&mut self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'_> {
+    pub fn block_mut(&mut self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'_, T> {
         let cols = self.cols;
         MatMut::from_slice(&mut self.data, self.rows, cols, cols).into_block(r0, c0, rr, cc)
     }
 
     /// The transpose as a new owned matrix.
-    pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    pub fn transpose(&self) -> DenseMatrix<T> {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
     /// Set every entry to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data.iter_mut().for_each(|x| *x = T::ZERO);
     }
 
     /// Scale every entry in place.
-    pub fn scale(&mut self, alpha: f64) {
+    pub fn scale(&mut self, alpha: T) {
         self.data.iter_mut().for_each(|x| *x *= alpha);
     }
 
-    /// Number of entries whose magnitude exceeds `tol`.
+    /// Number of entries whose magnitude exceeds `tol` (in accumulator
+    /// units).
     ///
     /// This is the `nnz(·)` of the paper (Table 1) when applied to factor
     /// matrices of a decomposition.
-    pub fn nnz(&self, tol: f64) -> usize {
-        self.data.iter().filter(|x| x.abs() > tol).count()
+    pub fn nnz(&self, tol: T::Accum) -> usize {
+        self.data
+            .iter()
+            .filter(|x| x.abs().to_accum() > tol)
+            .count()
     }
 
     /// Row `i` as a slice.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[T] {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Column `j` collected into a vector.
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    pub fn col(&self, j: usize) -> Vec<T> {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 }
 
-impl std::ops::Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<T: Scalar> std::ops::Index<(usize, usize)> for DenseMatrix<T> {
+    type Output = T;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(i < self.rows && j < self.cols);
         &self.data[i * self.cols + j]
     }
 }
 
-impl std::ops::IndexMut<(usize, usize)> for Matrix {
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for DenseMatrix<T> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(i < self.rows && j < self.cols);
         &mut self.data[i * self.cols + j]
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<T: Scalar> fmt::Debug for DenseMatrix<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        writeln!(f, "Matrix<{}> {}x{} [", T::NAME, self.rows, self.cols)?;
         let show_rows = self.rows.min(8);
         for i in 0..show_rows {
             write!(f, "  ")?;
@@ -226,9 +242,11 @@ impl fmt::Debug for Matrix {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    use super::DenseMatrix;
 
     #[test]
     fn zeros_shape_and_content() {
@@ -326,5 +344,32 @@ mod tests {
         assert_eq!(m[(1, 1)], 6.0);
         m.fill_zero();
         assert_eq!(m, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn f32_matrix_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DenseMatrix::<f32>::random(6, 5, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (-1.0f32..1.0).contains(&x)));
+        assert_eq!(m.transpose().transpose(), m);
+        let t = m.block(1, 1, 2, 3).to_matrix();
+        assert_eq!(t[(0, 0)], m[(1, 1)]);
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("Matrix<f32>"), "{dbg}");
+    }
+
+    #[test]
+    fn f32_and_f64_random_streams_share_the_rng_stream() {
+        // Same seed, same draw sequence: the f32 sample is the f64
+        // sample rounded, keeping cross-dtype workloads comparable.
+        let mut r64 = StdRng::seed_from_u64(9);
+        let mut r32 = StdRng::seed_from_u64(9);
+        let a = Matrix::random(4, 4, &mut r64);
+        let b = DenseMatrix::<f32>::random(4, 4, &mut r32);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a[(i, j)] as f32, b[(i, j)]);
+            }
+        }
     }
 }

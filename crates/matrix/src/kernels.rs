@@ -14,14 +14,19 @@
 //! rows with a configurable grain, which is how the DFS scheme
 //! parallelizes matrix additions (§4.1: "matrix additions are trivially
 //! parallelized").
+//!
+//! All kernels are generic over the element type ([`Scalar`]): the
+//! addition strategies only need ring arithmetic, so the same code path
+//! serves `f64`, `f32` and future semiring backends.
 
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 
 /// Row count below which parallel kernels stop splitting.
 pub const PAR_GRAIN_ROWS: usize = 64;
 
 /// `dst ← src` (the copy that starts a pairwise addition chain).
-pub fn copy(mut dst: MatMut<'_>, src: MatRef<'_>) {
+pub fn copy<T: Scalar>(mut dst: MatMut<'_, T>, src: MatRef<'_, T>) {
     debug_assert_eq!(dst.rows(), src.rows());
     debug_assert_eq!(dst.cols(), src.cols());
     for i in 0..dst.rows() {
@@ -30,7 +35,7 @@ pub fn copy(mut dst: MatMut<'_>, src: MatRef<'_>) {
 }
 
 /// `dst ← α·src`.
-pub fn copy_scaled(mut dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) {
+pub fn copy_scaled<T: Scalar>(mut dst: MatMut<'_, T>, alpha: T, src: MatRef<'_, T>) {
     debug_assert_eq!(dst.rows(), src.rows());
     debug_assert_eq!(dst.cols(), src.cols());
     for i in 0..dst.rows() {
@@ -43,7 +48,7 @@ pub fn copy_scaled(mut dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) {
 }
 
 /// `dst ← dst + α·src` — the `daxpy` primitive of the pairwise strategy.
-pub fn axpy(mut dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) {
+pub fn axpy<T: Scalar>(mut dst: MatMut<'_, T>, alpha: T, src: MatRef<'_, T>) {
     debug_assert_eq!(dst.rows(), src.rows());
     debug_assert_eq!(dst.cols(), src.cols());
     for i in 0..dst.rows() {
@@ -62,7 +67,7 @@ pub fn axpy(mut dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) {
 /// is read exactly once (§3.2, variant 2). With `beta = 1` it accumulates
 /// into the existing contents (used when combining output strips under
 /// dynamic peeling).
-pub fn lincomb(mut dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
+pub fn lincomb<T: Scalar>(mut dst: MatMut<'_, T>, beta: T, terms: &[(T, MatRef<'_, T>)]) {
     let (rows, cols) = (dst.rows(), dst.cols());
     for (_, s) in terms {
         debug_assert_eq!(s.rows(), rows);
@@ -70,19 +75,19 @@ pub fn lincomb(mut dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
     }
     match terms {
         [] => {
-            if beta == 0.0 {
-                dst.fill(0.0);
-            } else if beta != 1.0 {
+            if beta == T::ZERO {
+                dst.fill(T::ZERO);
+            } else if beta != T::ONE {
                 for i in 0..rows {
                     dst.row_mut(i).iter_mut().for_each(|x| *x *= beta);
                 }
             }
         }
-        [(a, s)] => {
+        &[(a, s)] => {
             for i in 0..rows {
                 let d = dst.row_mut(i);
                 let sr = s.row(i);
-                if beta == 0.0 {
+                if beta == T::ZERO {
                     for j in 0..cols {
                         d[j] = a * sr[j];
                     }
@@ -93,12 +98,12 @@ pub fn lincomb(mut dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
                 }
             }
         }
-        [(a0, s0), (a1, s1)] => {
+        &[(a0, s0), (a1, s1)] => {
             for i in 0..rows {
                 let d = dst.row_mut(i);
                 let r0 = s0.row(i);
                 let r1 = s1.row(i);
-                if beta == 0.0 {
+                if beta == T::ZERO {
                     for j in 0..cols {
                         d[j] = a0 * r0[j] + a1 * r1[j];
                     }
@@ -112,17 +117,17 @@ pub fn lincomb(mut dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
         _ => {
             for i in 0..rows {
                 let d = dst.row_mut(i);
-                if beta == 0.0 {
-                    let (a0, s0) = &terms[0];
+                if beta == T::ZERO {
+                    let &(a0, s0) = &terms[0];
                     let r0 = s0.row(i);
                     for j in 0..cols {
                         d[j] = a0 * r0[j];
                     }
-                } else if beta != 1.0 {
+                } else if beta != T::ONE {
                     d.iter_mut().for_each(|x| *x *= beta);
                 }
-                let rest = if beta == 0.0 { &terms[1..] } else { terms };
-                for (a, s) in rest {
+                let rest = if beta == T::ZERO { &terms[1..] } else { terms };
+                for &(a, s) in rest {
                     let sr = s.row(i);
                     for j in 0..cols {
                         d[j] += a * sr[j];
@@ -136,7 +141,7 @@ pub fn lincomb(mut dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
 /// Streaming update: `dst_t ← dst_t + α_t·src` for every target, reading
 /// `src` once per row while all destination rows stream through cache
 /// (§3.2, variant 3).
-pub fn stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
+pub fn stream_update<T: Scalar>(dsts: &mut [(T, MatMut<'_, T>)], src: MatRef<'_, T>) {
     let (rows, cols) = (src.rows(), src.cols());
     for (_, d) in dsts.iter() {
         debug_assert_eq!(d.rows(), rows);
@@ -155,8 +160,8 @@ pub fn stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
 }
 
 /// Scale a block in place: `dst ← α·dst`.
-pub fn scale(mut dst: MatMut<'_>, alpha: f64) {
-    if alpha == 1.0 {
+pub fn scale<T: Scalar>(mut dst: MatMut<'_, T>, alpha: T) {
+    if alpha == T::ONE {
         return;
     }
     for i in 0..dst.rows() {
@@ -165,9 +170,12 @@ pub fn scale(mut dst: MatMut<'_>, alpha: f64) {
 }
 
 /// Scaled operands of a linear combination: `(coefficient, matrix)`.
-type Terms<'a> = Vec<(f64, MatRef<'a>)>;
+type Terms<'a, T> = Vec<(T, MatRef<'a, T>)>;
 
-fn split_terms<'a>(terms: &[(f64, MatRef<'a>)], mid: usize) -> (Terms<'a>, Terms<'a>) {
+fn split_terms<'a, T: Scalar>(
+    terms: &[(T, MatRef<'a, T>)],
+    mid: usize,
+) -> (Terms<'a, T>, Terms<'a, T>) {
     let top = terms
         .iter()
         .map(|(a, s)| (*a, s.block(0, 0, mid, s.cols())))
@@ -181,7 +189,7 @@ fn split_terms<'a>(terms: &[(f64, MatRef<'a>)], mid: usize) -> (Terms<'a>, Terms
 
 /// Parallel [`lincomb`]: recursively splits on rows and runs leaf
 /// lincombs under rayon `join`.
-pub fn par_lincomb(dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
+pub fn par_lincomb<T: Scalar>(dst: MatMut<'_, T>, beta: T, terms: &[(T, MatRef<'_, T>)]) {
     if dst.rows() <= PAR_GRAIN_ROWS {
         lincomb(dst, beta, terms);
         return;
@@ -196,7 +204,7 @@ pub fn par_lincomb(dst: MatMut<'_>, beta: f64, terms: &[(f64, MatRef<'_>)]) {
 }
 
 /// Parallel [`axpy`].
-pub fn par_axpy(dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) {
+pub fn par_axpy<T: Scalar>(dst: MatMut<'_, T>, alpha: T, src: MatRef<'_, T>) {
     if dst.rows() <= PAR_GRAIN_ROWS {
         axpy(dst, alpha, src);
         return;
@@ -209,7 +217,7 @@ pub fn par_axpy(dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) {
 }
 
 /// Parallel [`copy`].
-pub fn par_copy(dst: MatMut<'_>, src: MatRef<'_>) {
+pub fn par_copy<T: Scalar>(dst: MatMut<'_, T>, src: MatRef<'_, T>) {
     if dst.rows() <= PAR_GRAIN_ROWS {
         copy(dst, src);
         return;
@@ -225,7 +233,7 @@ pub fn par_copy(dst: MatMut<'_>, src: MatRef<'_>) {
 /// on rows and streams each half under rayon `join`. Used by the DFS
 /// scheme, which parallelizes *all* additions (§4.1), when the
 /// streaming strategy is selected.
-pub fn par_stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
+pub fn par_stream_update<T: Scalar>(dsts: &mut [(T, MatMut<'_, T>)], src: MatRef<'_, T>) {
     if src.rows() <= PAR_GRAIN_ROWS || dsts.is_empty() {
         stream_update(dsts, src);
         return;
@@ -233,8 +241,8 @@ pub fn par_stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
     let mid = src.rows() / 2;
     let s_top = src.block(0, 0, mid, src.cols());
     let s_bot = src.block(mid, 0, src.rows() - mid, src.cols());
-    let mut tops: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(dsts.len());
-    let mut bots: Vec<(f64, MatMut<'_>)> = Vec::with_capacity(dsts.len());
+    let mut tops: Vec<(T, MatMut<'_, T>)> = Vec::with_capacity(dsts.len());
+    let mut bots: Vec<(T, MatMut<'_, T>)> = Vec::with_capacity(dsts.len());
     for (alpha, d) in dsts.iter_mut() {
         let rows = d.rows();
         let cols = d.cols();
@@ -252,7 +260,7 @@ pub fn par_stream_update(dsts: &mut [(f64, MatMut<'_>)], src: MatRef<'_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Matrix;
+    use crate::{DenseMatrix, Matrix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -385,5 +393,36 @@ mod tests {
         let mut c = Matrix::filled(3, 2, 2.0);
         scale(c.as_mut(), 0.5);
         assert_eq!(c, Matrix::filled(3, 2, 1.0));
+    }
+
+    #[test]
+    fn f32_kernels_match_f64_on_exact_inputs() {
+        // Small integer-valued operands: every kernel result is exact in
+        // both dtypes, so the f32 path must agree with f64 bit-for-bit
+        // after widening.
+        let a64 = Matrix::from_fn(5, 4, |i, j| (i as f64) - (j as f64));
+        let b64 = Matrix::from_fn(5, 4, |i, j| (i * j) as f64 - 3.0);
+        let a32 = DenseMatrix::<f32>::from_fn(5, 4, |i, j| (i as f32) - (j as f32));
+        let b32 = DenseMatrix::<f32>::from_fn(5, 4, |i, j| (i * j) as f32 - 3.0);
+        let mut c64 = Matrix::zeros(5, 4);
+        let mut c32 = DenseMatrix::<f32>::zeros(5, 4);
+        lincomb(
+            c64.as_mut(),
+            0.0,
+            &[(2.0, a64.as_ref()), (-1.0, b64.as_ref())],
+        );
+        lincomb(
+            c32.as_mut(),
+            0.0,
+            &[(2.0, a32.as_ref()), (-1.0, b32.as_ref())],
+        );
+        for i in 0..5 {
+            for j in 0..4 {
+                assert_eq!(c64[(i, j)], c32[(i, j)] as f64);
+            }
+        }
+        axpy(c32.as_mut(), 3.0, a32.as_ref());
+        axpy(c64.as_mut(), 3.0, a64.as_ref());
+        assert_eq!(c64[(4, 3)], c32[(4, 3)] as f64);
     }
 }

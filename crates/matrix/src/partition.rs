@@ -7,6 +7,7 @@
 //! divisible leading part recurses and thin boundary strips are fixed up
 //! with classical multiplications.
 
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 
 /// Uniform grid description of a matrix: `br × bc` blocks, each
@@ -42,13 +43,13 @@ impl Grid {
 
     /// Immutable view of block `(i, j)`.
     #[inline]
-    pub fn block<'a>(&self, m: &MatRef<'a>, i: usize, j: usize) -> MatRef<'a> {
+    pub fn block<'a, T: Scalar>(&self, m: &MatRef<'a, T>, i: usize, j: usize) -> MatRef<'a, T> {
         debug_assert!(i < self.br && j < self.bc);
         m.block(i * self.rs, j * self.cs, self.rs, self.cs)
     }
 
     /// All `br·bc` blocks in row-major order.
-    pub fn blocks<'a>(&self, m: &MatRef<'a>) -> Vec<MatRef<'a>> {
+    pub fn blocks<'a, T: Scalar>(&self, m: &MatRef<'a, T>) -> Vec<MatRef<'a, T>> {
         let mut v = Vec::with_capacity(self.br * self.bc);
         for i in 0..self.br {
             for j in 0..self.bc {
@@ -59,7 +60,7 @@ impl Grid {
     }
 
     /// Partition a mutable view into all blocks in row-major order.
-    pub fn blocks_mut<'a>(&self, m: MatMut<'a>) -> Vec<MatMut<'a>> {
+    pub fn blocks_mut<'a, T: Scalar>(&self, m: MatMut<'a, T>) -> Vec<MatMut<'a, T>> {
         let rcuts: Vec<usize> = (1..self.br).map(|i| i * self.rs).collect();
         let ccuts: Vec<usize> = (1..self.bc).map(|j| j * self.cs).collect();
         m.split_grid(&rcuts, &ccuts)

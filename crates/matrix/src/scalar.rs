@@ -1,0 +1,234 @@
+//! The element-type seam of the workspace: [`Scalar`].
+//!
+//! The framework of the paper is element-type agnostic — the recursion,
+//! the §3.2 addition strategies and the §3.5 peeling only need a ring
+//! whose elements can be scaled by the (real) coefficients of a
+//! decomposition. [`Scalar`] captures exactly that contract, so one
+//! generic stack (`DenseMatrix<T>` → kernels → gemm → executor →
+//! engine) serves `f64`, `f32`, and — later — non-field semirings such
+//! as bit-packed GF(2).
+//!
+//! Two design points matter for those future backends:
+//!
+//! * [`Scalar::from_coeff`] injects an `.alg` coefficient (always
+//!   stored as `f64`) into the scalar type and **may fail**: a GF(2)
+//!   backend would accept ±1/0 and reject the fractional coefficients
+//!   of APA algorithms. Planning surfaces that rejection as an error
+//!   instead of silently computing nonsense.
+//! * Accuracy instrumentation accumulates in [`Scalar::Accum`] (a wide
+//!   accumulator, `f64` for both float types) so `f32` norms do not
+//!   lose the very digits the §6 experiments measure, and the
+//!   near-zero-denominator guard of `relative_error` uses
+//!   [`Scalar::tiny_norm`] — an epsilon appropriate to the *element*
+//!   type, not hard-coded `f64::MIN_POSITIVE`.
+
+use rand::Rng;
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Wide accumulator used by norm and forward-error computations.
+///
+/// Both float scalars accumulate in `f64`; an exotic backend can pick
+/// any type with ordered-field-enough structure (e.g. a mismatch
+/// counter for exact semirings).
+pub trait AccumScalar:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+{
+    /// Additive identity of the accumulator.
+    const ZERO: Self;
+    /// Principal square root (norms are sums of squares).
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+}
+
+impl AccumScalar for f64 {
+    const ZERO: Self = 0.0;
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+/// A matrix element: `Copy` ring arithmetic plus the coefficient and
+/// accuracy seams described above (coefficient injection, wide-
+/// accumulator error measurement).
+///
+/// Implemented for `f64` (the default element type everywhere) and
+/// `f32`. The trait is deliberately small — everything the executor
+/// does is expressible with these operations, which is what keeps the
+/// door open for semiring backends.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Short dtype name (`"f64"`, `"f32"`) for labels and reports.
+    const NAME: &'static str;
+    /// Machine epsilon of the element type, in accumulator units.
+    const EPSILON: <Self as Scalar>::Accum;
+
+    /// Wide accumulator for norms / error measurement.
+    type Accum: AccumScalar;
+
+    /// Inject a decomposition coefficient (`.alg` files store them as
+    /// `f64`). Returns `None` when the coefficient is not representable
+    /// — the designed rejection point for non-field semirings facing
+    /// fractional APA coefficients. Both float types accept everything
+    /// (rounding `f64 → f32` is the expected APA behaviour).
+    fn from_coeff(c: f64) -> Option<Self>;
+
+    /// Widen into the accumulator.
+    fn to_accum(self) -> Self::Accum;
+
+    /// Absolute value (used by `nnz` and max-norm diffs).
+    fn abs(self) -> Self;
+
+    /// Smallest positive normal magnitude of the *element* type, in
+    /// accumulator units: the `relative_error` denominator guard. A
+    /// reference norm below this is noise for this dtype even when it
+    /// is comfortably representable in the accumulator.
+    fn tiny_norm() -> Self::Accum;
+
+    /// One i.i.d. sample uniform on `[-1, 1)` — the random workload
+    /// distribution every benchmark in the paper uses.
+    fn sample_unit<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
+    const EPSILON: f64 = f64::EPSILON;
+
+    type Accum = f64;
+
+    #[inline]
+    fn from_coeff(c: f64) -> Option<Self> {
+        Some(c)
+    }
+    #[inline]
+    fn to_accum(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn tiny_norm() -> f64 {
+        f64::MIN_POSITIVE
+    }
+    #[inline]
+    fn sample_unit<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.gen_range(-1.0..1.0)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
+    const EPSILON: f64 = f32::EPSILON as f64;
+
+    type Accum = f64;
+
+    #[inline]
+    fn from_coeff(c: f64) -> Option<Self> {
+        Some(c as f32)
+    }
+    #[inline]
+    fn to_accum(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn tiny_norm() -> f64 {
+        f32::MIN_POSITIVE as f64
+    }
+    #[inline]
+    fn sample_unit<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // An f64 draw in (1 − 2⁻²⁵, 1) would round *up* to 1.0f32 and
+        // break the half-open contract; clamp to the largest f32 < 1.
+        let x = rng.gen_range(-1.0..1.0) as f32;
+        if x >= 1.0 {
+            1.0 - f32::EPSILON / 2.0
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identities_and_names() {
+        assert_eq!(<f64 as Scalar>::ZERO + <f64 as Scalar>::ONE, 1.0);
+        assert_eq!(<f32 as Scalar>::ZERO + <f32 as Scalar>::ONE, 1.0f32);
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+    }
+
+    #[test]
+    fn from_coeff_floats_accept_everything() {
+        assert_eq!(f64::from_coeff(-0.5), Some(-0.5));
+        assert_eq!(f32::from_coeff(2.0), Some(2.0f32));
+        // f32 rounds rather than rejects — the APA contract.
+        let c = 1.0 + f64::EPSILON;
+        assert_eq!(f32::from_coeff(c), Some(1.0f32));
+    }
+
+    #[test]
+    fn epsilon_and_tiny_norm_scale_with_the_type() {
+        let (e32, e64) = (<f32 as Scalar>::EPSILON, <f64 as Scalar>::EPSILON);
+        assert!(e32 > e64);
+        assert!(<f32 as Scalar>::tiny_norm() > <f64 as Scalar>::tiny_norm());
+    }
+
+    #[test]
+    fn sample_unit_stays_in_range_for_both_types() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let x = f64::sample_unit(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+            let y = f32::sample_unit(&mut rng);
+            assert!((-1.0..1.0).contains(&y));
+        }
+    }
+}

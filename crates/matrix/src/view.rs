@@ -6,29 +6,41 @@
 //! is `Copy` and freely shareable; `MatMut` is an exclusive view that can
 //! be *split* into disjoint pieces (rows, columns, or a full block grid)
 //! so independent tasks may write different output blocks in parallel.
+//!
+//! Both views are generic over the element type (defaulting to `f64`,
+//! like [`crate::DenseMatrix`]); a `MatRef<'_>` in a signature is a
+//! `MatRef<'_, f64>`.
 
+use crate::scalar::Scalar;
 use std::marker::PhantomData;
 
 /// Immutable strided matrix view.
-#[derive(Clone, Copy)]
-pub struct MatRef<'a> {
-    ptr: *const f64,
+pub struct MatRef<'a, T = f64> {
+    ptr: *const T,
     rows: usize,
     cols: usize,
     stride: usize,
-    _marker: PhantomData<&'a f64>,
+    _marker: PhantomData<&'a T>,
 }
 
-// SAFETY: `MatRef` is a read-only view with the aliasing rules of `&[f64]`.
-unsafe impl Send for MatRef<'_> {}
-unsafe impl Sync for MatRef<'_> {}
+impl<T> Clone for MatRef<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for MatRef<'_, T> {}
 
-impl<'a> MatRef<'a> {
+// SAFETY: `MatRef` is a read-only view with the aliasing rules of
+// `&[T]`; `T: Scalar` implies `T: Send + Sync`.
+unsafe impl<T: Scalar> Send for MatRef<'_, T> {}
+unsafe impl<T: Scalar> Sync for MatRef<'_, T> {}
+
+impl<'a, T: Scalar> MatRef<'a, T> {
     /// View over a row-major buffer with leading dimension `stride`.
     ///
     /// # Panics
     /// Panics when the buffer is too short for the described view.
-    pub fn from_slice(buf: &'a [f64], rows: usize, cols: usize, stride: usize) -> Self {
+    pub fn from_slice(buf: &'a [T], rows: usize, cols: usize, stride: usize) -> Self {
         if rows > 0 && cols > 0 {
             assert!(stride >= cols, "stride {stride} < cols {cols}");
             assert!(
@@ -67,7 +79,7 @@ impl<'a> MatRef<'a> {
 
     /// Entry `(i, j)`.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: bounds are checked in debug; the view invariant
         // guarantees the offset is in the borrowed buffer.
@@ -76,7 +88,7 @@ impl<'a> MatRef<'a> {
 
     /// Row `i` as a contiguous slice.
     #[inline]
-    pub fn row(&self, i: usize) -> &'a [f64] {
+    pub fn row(&self, i: usize) -> &'a [T] {
         debug_assert!(i < self.rows);
         // SAFETY: row `i` spans `cols` contiguous elements inside the
         // borrowed buffer by the view invariant.
@@ -85,7 +97,7 @@ impl<'a> MatRef<'a> {
 
     /// Sub-block of size `rr × cc` with top-left corner `(r0, c0)`.
     #[inline]
-    pub fn block(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'a> {
+    pub fn block(&self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatRef<'a, T> {
         assert!(r0 + rr <= self.rows, "row block out of range");
         assert!(c0 + cc <= self.cols, "col block out of range");
         MatRef {
@@ -98,31 +110,31 @@ impl<'a> MatRef<'a> {
         }
     }
 
-    /// Copy the view into an owned [`crate::Matrix`].
-    pub fn to_matrix(&self) -> crate::Matrix {
-        crate::Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    /// Copy the view into an owned [`crate::DenseMatrix`].
+    pub fn to_matrix(&self) -> crate::DenseMatrix<T> {
+        crate::DenseMatrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
     }
 }
 
 /// Exclusive strided matrix view.
-pub struct MatMut<'a> {
-    ptr: *mut f64,
+pub struct MatMut<'a, T = f64> {
+    ptr: *mut T,
     rows: usize,
     cols: usize,
     stride: usize,
-    _marker: PhantomData<&'a mut f64>,
+    _marker: PhantomData<&'a mut T>,
 }
 
-// SAFETY: `MatMut` has the aliasing rules of `&mut [f64]`: it is an
+// SAFETY: `MatMut` has the aliasing rules of `&mut [T]`: it is an
 // exclusive view, so sending it to another thread is sound.
-unsafe impl Send for MatMut<'_> {}
+unsafe impl<T: Scalar> Send for MatMut<'_, T> {}
 
-impl<'a> MatMut<'a> {
+impl<'a, T: Scalar> MatMut<'a, T> {
     /// Exclusive view over a row-major buffer with leading dimension `stride`.
     ///
     /// # Panics
     /// Panics when the buffer is too short for the described view.
-    pub fn from_slice(buf: &'a mut [f64], rows: usize, cols: usize, stride: usize) -> Self {
+    pub fn from_slice(buf: &'a mut [T], rows: usize, cols: usize, stride: usize) -> Self {
         if rows > 0 && cols > 0 {
             assert!(stride >= cols, "stride {stride} < cols {cols}");
             assert!(
@@ -161,7 +173,7 @@ impl<'a> MatMut<'a> {
 
     /// Entry `(i, j)`.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: in-bounds by the view invariant.
         unsafe { *self.ptr.add(i * self.stride + j) }
@@ -169,7 +181,7 @@ impl<'a> MatMut<'a> {
 
     /// Write entry `(i, j)`.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         debug_assert!(i < self.rows && j < self.cols);
         // SAFETY: in-bounds by the view invariant; exclusive access.
         unsafe { *self.ptr.add(i * self.stride + j) = v }
@@ -177,7 +189,7 @@ impl<'a> MatMut<'a> {
 
     /// Row `i` as a mutable contiguous slice.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
         debug_assert!(i < self.rows);
         // SAFETY: row `i` spans `cols` contiguous in-bounds elements and
         // `&mut self` guarantees exclusivity.
@@ -186,7 +198,7 @@ impl<'a> MatMut<'a> {
 
     /// Immutable snapshot of this view (for reading while holding it).
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, T> {
         MatRef {
             ptr: self.ptr,
             rows: self.rows,
@@ -199,7 +211,7 @@ impl<'a> MatMut<'a> {
     /// Reborrow with a shorter lifetime so the view can be used again
     /// after passing a value to a kernel.
     #[inline]
-    pub fn reborrow(&mut self) -> MatMut<'_> {
+    pub fn reborrow(&mut self) -> MatMut<'_, T> {
         MatMut {
             ptr: self.ptr,
             rows: self.rows,
@@ -210,7 +222,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Consume the view, producing the sub-block `rr × cc` at `(r0, c0)`.
-    pub fn into_block(self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'a> {
+    pub fn into_block(self, r0: usize, c0: usize, rr: usize, cc: usize) -> MatMut<'a, T> {
         assert!(r0 + rr <= self.rows, "row block out of range");
         assert!(c0 + cc <= self.cols, "col block out of range");
         MatMut {
@@ -225,7 +237,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Split into top (`..mid`) and bottom (`mid..`) row ranges.
-    pub fn split_at_row(self, mid: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_at_row(self, mid: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
         assert!(mid <= self.rows, "split row out of range");
         let top = MatMut {
             ptr: self.ptr,
@@ -247,7 +259,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Split into left (`..mid`) and right (`mid..`) column ranges.
-    pub fn split_at_col(self, mid: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_at_col(self, mid: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
         assert!(mid <= self.cols, "split col out of range");
         let left = MatMut {
             ptr: self.ptr,
@@ -272,7 +284,7 @@ impl<'a> MatMut<'a> {
     /// disjoint mutable blocks, row-major order.
     ///
     /// `row_cuts`/`col_cuts` are strictly increasing interior cut points.
-    pub fn split_grid(self, row_cuts: &[usize], col_cuts: &[usize]) -> Vec<MatMut<'a>> {
+    pub fn split_grid(self, row_cuts: &[usize], col_cuts: &[usize]) -> Vec<MatMut<'a, T>> {
         let mut rbounds = Vec::with_capacity(row_cuts.len() + 2);
         rbounds.push(0);
         rbounds.extend_from_slice(row_cuts);
@@ -312,7 +324,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Fill the viewed block with a constant.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for i in 0..self.rows {
             self.row_mut(i).iter_mut().for_each(|x| *x = v);
         }
@@ -321,7 +333,7 @@ impl<'a> MatMut<'a> {
 
 #[cfg(test)]
 mod tests {
-    use crate::Matrix;
+    use crate::{DenseMatrix, Matrix};
 
     #[test]
     fn ref_block_of_block() {
@@ -398,5 +410,17 @@ mod tests {
     fn block_out_of_range_panics() {
         let m = Matrix::zeros(2, 2);
         let _ = m.block(1, 1, 2, 2);
+    }
+
+    #[test]
+    fn f32_views_split_and_write() {
+        let mut m = DenseMatrix::<f32>::zeros(4, 4);
+        let (mut top, mut bot) = m.as_mut().split_at_row(2);
+        top.fill(1.0);
+        bot.fill(-2.0);
+        assert_eq!(m[(0, 3)], 1.0f32);
+        assert_eq!(m[(3, 0)], -2.0f32);
+        let b = m.block(2, 0, 2, 2);
+        assert_eq!(b.get(1, 1), -2.0f32);
     }
 }

@@ -52,12 +52,23 @@
 //!     .shape(2000, 100, 2000)
 //!     .auto_algorithm(&cands)
 //!     .profile(GemmProfile::measure(&[128, 256, 512, 1024]))
-//!     .plan()
+//!     .plan::<f64>() // or ::<f32> — see "Element types" below
 //!     .unwrap();
 //! ```
 //!
 //! [`core::FastMul`] remains the low-level shape-agnostic path (it
 //! sizes and allocates one workspace per call) for one-shot multiplies.
+//!
+//! # Element types
+//!
+//! The stack is generic over [`matrix::Scalar`] with `f64` defaults
+//! throughout ([`matrix::Matrix`] is `DenseMatrix<f64>`; `Plan`,
+//! `Workspace`, `FmmEngine` default their parameter), and `f32` ships
+//! as a second instantiation — `FmmEngine::<f32>::builder()`,
+//! `Planner::plan::<f32>()`, `DenseMatrix::<f32>` — doubling SIMD
+//! width and halving memory traffic on the hot path. See the README's
+//! "Element types" section for the migration note (existing code
+//! changes nothing) and the GF(2)/semiring extension point.
 //!
 //! # Serving: the engine
 //!

@@ -129,6 +129,45 @@ fn steady_state_serving_allocates_no_new_arenas() {
     );
 }
 
+/// Acceptance: the f32 twin of the zero-alloc steady state. An
+/// `FmmEngine<f32>` must show the exact same cache/arena discipline —
+/// all hits, all workspace reuses, no new arenas — and its results must
+/// match the f32 classical reference.
+#[test]
+fn f32_steady_state_serving_allocates_no_new_arenas() {
+    use fast_matmul::matrix::DenseMatrix;
+    let engine = FmmEngine::<f32>::builder().threads(2).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = DenseMatrix::<f32>::random(96, 96, &mut rng);
+    let b = DenseMatrix::<f32>::random(96, 96, &mut rng);
+    let mut c = DenseMatrix::<f32>::zeros(96, 96);
+    engine.multiply_into(&a, &b, &mut c).unwrap(); // warm-up
+    let warm = engine.stats();
+    for _ in 0..10 {
+        engine.multiply_into(&a, &b, &mut c).unwrap();
+    }
+    let steady = engine.stats();
+    assert_eq!(
+        steady.plan_cache_misses, warm.plan_cache_misses,
+        "no re-planning after warm-up (f32)"
+    );
+    assert_eq!(steady.plan_cache_hits, warm.plan_cache_hits + 10);
+    assert_eq!(
+        steady.workspaces_created, warm.workspaces_created,
+        "no new arenas after warm-up (f32)"
+    );
+    assert_eq!(
+        steady.workspaces_reused,
+        warm.workspaces_reused + 10,
+        "every steady-state run reuses a pooled arena as-is (f32)"
+    );
+    // Correctness of what was served, against the f32 naive oracle.
+    let mut want = DenseMatrix::<f32>::zeros(96, 96);
+    naive_gemm(1.0f32, a.as_ref(), b.as_ref(), 0.0f32, want.as_mut());
+    let d = max_abs_diff(&want.as_ref(), &c.as_ref()).unwrap();
+    assert!(d < 1e-3, "f32 served result off by {d}");
+}
+
 /// LRU semantics across shapes: a recently-hit plan survives an insert
 /// beyond capacity; the least-recently-used one is evicted and must
 /// re-plan on its next request.

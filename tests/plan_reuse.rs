@@ -117,11 +117,11 @@ fn planner_auto_depth_follows_the_cutoff_rule() {
         .shape(1024, 1024, 1024)
         .algorithm(&algo::strassen())
         .profile(flat_profile())
-        .plan()
+        .plan::<f64>()
         .unwrap();
     assert!(strassen_plan.depth() > 0);
 
-    let classical_plan = Planner::new()
+    let classical_plan: fast_matmul::Plan = Planner::new()
         .shape(1024, 1024, 1024)
         .algorithm(&classical(2, 2, 2))
         .profile(flat_profile())
@@ -159,13 +159,13 @@ fn saved_profile_replay_plans_like_the_original() {
         .shape(256, 256, 256)
         .algorithm(&strassen)
         .profile(profile)
-        .plan()
+        .plan::<f64>()
         .unwrap();
     let saved = Planner::new()
         .shape(256, 256, 256)
         .algorithm(&strassen)
         .profile(replayed)
-        .plan()
+        .plan::<f64>()
         .unwrap();
     assert_eq!(direct.depth(), saved.depth());
     assert_eq!(direct.workspace_len(), saved.workspace_len());
