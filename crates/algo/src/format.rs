@@ -65,6 +65,28 @@ pub fn parse(text: &str) -> Result<Decomposition, String> {
     Ok(Decomposition::new(m, k, n, u, v, w))
 }
 
+/// Extract the machine-checked residual a `.alg` header comment
+/// declares (`# … residual 3.561e-1`), if any. APA files must declare
+/// one; the catalog loader and the xtask data lint both compare it
+/// against a recomputation, so a stale comment is a hard error rather
+/// than a misleading note.
+pub fn declared_residual(text: &str) -> Option<f64> {
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('#') {
+            // Comments only precede the header in this format.
+            return None;
+        }
+        let mut tokens = line.split_whitespace();
+        while let Some(tok) = tokens.next() {
+            if tok == "residual" {
+                return tokens.next()?.parse().ok();
+            }
+        }
+    }
+    None
+}
+
 /// Serialize a decomposition to the `.alg` format, with an optional
 /// provenance comment.
 pub fn serialize(d: &Decomposition, comment: Option<&str>) -> String {
@@ -132,6 +154,17 @@ mod tests {
     fn parse_rejects_bad_header() {
         assert!(parse("2 2 2").is_err());
         assert!(parse("a b c d").is_err());
+    }
+
+    #[test]
+    fn declared_residual_parses_header_comments() {
+        assert_eq!(
+            declared_residual("# APA border-rank fit, residual 3.561e-1\n3 3 3 21\n"),
+            Some(3.561e-1)
+        );
+        assert_eq!(declared_residual("# no residual here\n2 2 2 7\n"), None);
+        // Only leading comments count — data lines stop the scan.
+        assert_eq!(declared_residual("2 2 2 7\n# residual 1.0\n"), None);
     }
 
     #[test]

@@ -14,20 +14,26 @@
 //!    fallback when no searched file reaches the paper's rank, with the
 //!    rank difference recorded in the provenance.
 //!
-//! Each catalog access re-verifies the decomposition against the Brent
+//! Each catalog access re-checks the decomposition against the Brent
 //! equations, so a corrupted data file cannot produce silent wrong
-//! results.
+//! results. Discrete (dyadic-coefficient) schemes are *certified*
+//! identically in ℚ via [`fmm_verify::certify_exact`] — not accepted at
+//! a float tolerance — and APA instantiations go through
+//! [`fmm_verify::check_apa_fit`], which replaces the old fixed-residual
+//! heuristic with a rank-deficit + unique-rounding + header-agreement
+//! check.
 
 mod derive;
 mod format;
 mod hardcoded;
 
 pub use derive::derive_best;
-pub use format::{parse, serialize};
+pub use format::{declared_residual, parse, serialize};
 pub use hardcoded::{strassen, winograd};
 
 use fmm_tensor::transform::permute_to;
 use fmm_tensor::Decomposition;
+use fmm_verify::Certify;
 
 mod embedded {
     include!(concat!(env!("OUT_DIR"), "/embedded.rs"));
@@ -98,13 +104,16 @@ fn load_embedded(m: usize, k: usize, n: usize, rank: usize) -> Option<(Decomposi
             if dec.base() != (m, k, n) || dec.rank() != rank {
                 return None;
             }
-            if dec.verify(EXACT_TOL).is_ok() {
-                let prov = if dec.is_discrete(1e-9) {
-                    Provenance::Searched
-                } else {
-                    Provenance::SearchedFloat
-                };
-                return Some((dec, prov));
+            // Discrete schemes must survive exact ℚ certification —
+            // every Brent equation identically, no tolerance. Only
+            // genuinely float-fitted schemes fall back to the float
+            // check.
+            if dec.is_discrete(1e-9) {
+                if dec.certify().is_ok() {
+                    return Some((dec, Provenance::Searched));
+                }
+            } else if dec.verify(EXACT_TOL).is_ok() {
+                return Some((dec, Provenance::SearchedFloat));
             }
             return None;
         }
@@ -120,16 +129,16 @@ fn load_apa(m: usize, k: usize, n: usize, rank: usize, label: &str) -> Option<Fa
             if dec.base() != (m, k, n) || dec.rank() != rank {
                 return None;
             }
-            let residual = dec.residual();
-            // A usable APA instantiation must be close to the true
-            // tensor; reject stale fits that never converged.
-            if residual > 0.25 {
-                return None;
-            }
+            // Principled acceptance (fmm-verify): the fit must claim a
+            // rank deficit, its residual must be < 1/2 so the matmul
+            // tensor is the *unique* nearest integer tensor, and the
+            // header-declared residual must match the recomputation.
+            let declared = declared_residual(text)?;
+            let report = fmm_verify::check_apa_fit(&dec, declared).ok()?;
             return Some(FastAlgorithm {
                 name: label.to_string(),
                 dec,
-                provenance: Provenance::Apa(residual),
+                provenance: Provenance::Apa(report.residual),
             });
         }
     }
@@ -143,7 +152,12 @@ fn seeds() -> Vec<Decomposition> {
     for (name, text) in embedded::EMBEDDED {
         if name.starts_with("searched_") {
             if let Ok(dec) = parse(text) {
-                if dec.verify(EXACT_TOL).is_ok() {
+                let exact = if dec.is_discrete(1e-9) {
+                    dec.certify().is_ok()
+                } else {
+                    dec.verify(EXACT_TOL).is_ok()
+                };
+                if exact {
                     s.push(dec);
                 }
             }
@@ -371,11 +385,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_entries_all_verify() {
+    fn catalog_entries_all_certify_exactly() {
         for alg in catalog() {
-            alg.dec
-                .verify(EXACT_TOL)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name));
+            let cert = alg
+                .dec
+                .certify()
+                .unwrap_or_else(|e| panic!("{} failed exact certification: {e}", alg.name));
+            assert_eq!(cert.rank, alg.dec.rank());
+        }
+    }
+
+    #[test]
+    fn apa_entries_load_under_principled_acceptance() {
+        // Both shipped APA fits satisfy rank-deficit + unique-rounding
+        // + header agreement. (schonhage, residual ≈ 0.356, was
+        // silently rejected by the old `> 0.25` magic number.)
+        let bini = bini_apa().expect("bini APA fit must load");
+        let sch = schonhage_apa().expect("schonhage APA fit must load");
+        for (alg, max) in [(&bini, 1e-2), (&sch, 0.5)] {
+            match alg.provenance {
+                Provenance::Apa(r) => assert!(r < max, "{}: residual {r}", alg.name),
+                ref other => panic!("unexpected provenance {other:?}"),
+            }
+            assert!(alg.dec.rank() < alg.dec.classical_rank());
         }
     }
 

@@ -1,0 +1,135 @@
+//! Exact certification sweep over everything the catalog ships, plus
+//! mutation testing: every single-site corruption of every exact
+//! scheme must be rejected by `certify()`.
+//!
+//! This is the integration-level counterpart to
+//! `crates/verify/tests/mutation.rs`: that suite drills the certifier
+//! on a fixture; this one proves the *shipped data* — hand-coded
+//! entries, `.alg` files, derived constructions, the ⟨54,54,54⟩
+//! schedule — is certified, and that no mutant of it would be.
+
+use fmm_algo as algo;
+use fmm_tensor::Decomposition;
+use fmm_verify::{Certify, CertifyError};
+
+/// Every exact decomposition the catalog can produce, with a label.
+fn exact_schemes() -> Vec<(String, Decomposition)> {
+    let mut out: Vec<(String, Decomposition)> = algo::catalog()
+        .into_iter()
+        .map(|a| (a.name.clone(), a.dec))
+        .collect();
+    for (i, dec) in algo::schedule_54().into_iter().enumerate() {
+        out.push((format!("schedule_54[{i}]"), dec));
+    }
+    for (name, text) in algo::embedded_files() {
+        if !name.starts_with("apa_") {
+            let dec = algo::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            out.push((name.to_string(), dec));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_exact_scheme_certifies_in_q() {
+    let schemes = exact_schemes();
+    assert!(schemes.len() >= 12, "catalog unexpectedly small");
+    for (name, dec) in &schemes {
+        let cert = dec
+            .certify()
+            .unwrap_or_else(|e| panic!("{name} failed exact ℚ certification: {e}"));
+        let (m, k, n) = dec.base();
+        assert_eq!(cert.equations, m * k * k * n * m * n, "{name}");
+        // Catalog coefficients are the paper's "simple values": small
+        // dyadics, denominator at most 8.
+        assert!(
+            cert.max_denominator <= 8,
+            "{name}: denom {}",
+            cert.max_denominator
+        );
+    }
+}
+
+#[test]
+fn sign_flip_mutants_of_every_scheme_are_rejected() {
+    for (name, dec) in exact_schemes() {
+        // Flip the first nonzero entry of each factor in turn.
+        for which in 0..3 {
+            let mut mutant = dec.clone();
+            let mat = match which {
+                0 => &mut mutant.u,
+                1 => &mut mutant.v,
+                _ => &mut mutant.w,
+            };
+            let (rows, cols) = (mat.rows(), mat.cols());
+            'found: for i in 0..rows {
+                for j in 0..cols {
+                    if mat[(i, j)] != 0.0 {
+                        mat[(i, j)] = -mat[(i, j)];
+                        break 'found;
+                    }
+                }
+            }
+            assert!(
+                matches!(mutant.certify(), Err(CertifyError::BrentViolation { .. })),
+                "{name}: sign-flip mutant in factor {which} passed certification"
+            );
+        }
+    }
+}
+
+#[test]
+fn perturbation_mutants_of_every_scheme_are_rejected() {
+    for (name, dec) in exact_schemes() {
+        let mut mutant = dec.clone();
+        // A perturbation far below EXACT_TOL: invisible to the float
+        // path, fatal to the exact one.
+        mutant.u[(0, 0)] += 2.0f64.powi(-40);
+        assert!(
+            matches!(mutant.certify(), Err(CertifyError::BrentViolation { .. })),
+            "{name}: tiny-perturbation mutant passed certification"
+        );
+        assert!(
+            mutant.verify(algo::EXACT_TOL).is_ok(),
+            "{name}: perturbation should be below the float tolerance"
+        );
+    }
+}
+
+#[test]
+fn dropped_rank_term_mutants_of_every_scheme_are_rejected() {
+    for (name, dec) in exact_schemes() {
+        let rank = dec.rank();
+        // Zeroing a U column kills one rank-one term entirely.
+        for r in [0, rank / 2, rank - 1] {
+            let mut mutant = dec.clone();
+            for i in 0..mutant.u.rows() {
+                mutant.u[(i, r)] = 0.0;
+            }
+            assert!(
+                matches!(mutant.certify(), Err(CertifyError::BrentViolation { .. })),
+                "{name}: dropped rank-term {r} passed certification"
+            );
+        }
+    }
+}
+
+#[test]
+fn apa_fits_pass_checks_and_respect_declared_headers() {
+    for (file, label) in [("apa_322_10.alg", "bini"), ("apa_333_21.alg", "schonhage")] {
+        let text = algo::embedded_files()
+            .iter()
+            .find(|(n, _)| *n == file)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("{file} missing from embedded data"));
+        let dec = algo::parse(text).unwrap();
+        let declared = algo::declared_residual(text)
+            .unwrap_or_else(|| panic!("{file} must declare a residual"));
+        let report =
+            fmm_verify::check_apa_fit(&dec, declared).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(report.rank < report.classical_rank);
+        // And the loader agrees end to end.
+        let alg = algo::by_name(label).unwrap_or_else(|| panic!("{label} failed to load"));
+        assert!(alg.is_apa());
+    }
+}

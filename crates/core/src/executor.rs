@@ -279,6 +279,25 @@ impl<T: Scalar> LevelPlan<T> {
             rank: dec.rank(),
         })
     }
+
+    /// Number of U-side CSE temporaries (certificate audit).
+    pub(crate) fn u_temp_count(&self) -> usize {
+        self.uplan.temps.len()
+    }
+
+    /// Number of V-side CSE temporaries (certificate audit).
+    pub(crate) fn v_temp_count(&self) -> usize {
+        self.vplan.temps.len()
+    }
+
+    /// Whether multiplication `r` reads its S/T operand directly from a
+    /// source block (passthrough) instead of a workspace temporary.
+    pub(crate) fn passthrough(&self, r: usize) -> (bool, bool) {
+        (
+            self.uplan.passthrough[r].is_some(),
+            self.vplan.passthrough[r].is_some(),
+        )
+    }
 }
 
 /// Workspace layout of one recursion node, derived from the node's

@@ -102,6 +102,7 @@
 //! ramp-up then plateau — is what the rule needs, and it transfers).
 
 mod accuracy;
+mod certificate;
 pub mod codegen;
 pub mod cutoff;
 pub mod engine;
@@ -113,6 +114,7 @@ mod workspace;
 pub use accuracy::{
     forward_error, forward_error_in, max_rel_error_vs_classical, max_rel_error_vs_classical_in,
 };
+pub use certificate::PlanCertificate;
 pub use codegen::generate_rust;
 pub use cutoff::GemmProfile;
 pub use engine::{EngineBuilder, EngineError, EngineStats, FmmEngine, MultiplyHandle};

@@ -13,6 +13,7 @@
 //! discipline), which is what makes the batched front door
 //! [`Plan::execute_batch`] cheap enough to serve many small multiplies.
 
+use crate::certificate::PlanCertificate;
 use crate::cutoff::GemmProfile;
 use crate::executor::{
     execute_on, required_workspace, AdditionMethod, BorderHandling, ExecStats, ExecStatsSnapshot,
@@ -334,12 +335,21 @@ impl Planner {
             })
             .collect::<Result<_, _>>()?;
         let ws_len = required_workspace(&levels, &opts, shape.0, shape.1, shape.2);
-        Ok(Plan {
+        let plan = Plan {
             levels,
             opts,
             shape,
             ws_len,
-        })
+        };
+        // Audit: the certificate re-derives the workspace footprint
+        // from the recursion tree independently of the executor's
+        // NodeLayout arithmetic; any disagreement is a sizing bug.
+        debug_assert_eq!(
+            plan.certificate().workspace_len,
+            ws_len,
+            "plan certificate disagrees with precomputed workspace"
+        );
+        Ok(plan)
     }
 }
 
@@ -383,6 +393,15 @@ impl<T: GemmScalar> Plan<T> {
     /// [`Plan::workspace_len`] in bytes (of this plan's element type).
     pub fn workspace_bytes(&self) -> usize {
         self.ws_len * std::mem::size_of::<T>()
+    }
+
+    /// Statically re-derive this plan's composed rank, gemm counts,
+    /// flop count and exact workspace footprint from the recursion
+    /// tree — an independent audit of the planner's precomputed values
+    /// (cross-checked with a `debug_assert` at plan time) and an exact
+    /// prediction of the executor's runtime statistics.
+    pub fn certificate(&self) -> PlanCertificate {
+        crate::certificate::derive_certificate(&self.levels, &self.opts, self.shape)
     }
 
     /// `C = A · B`. After the first call on a given `workspace`,

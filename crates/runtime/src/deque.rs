@@ -103,6 +103,9 @@ impl Deque {
             let slot = self.slot(b);
             let data = slot.data.load(Ordering::Relaxed);
             let exec = slot.exec.load(Ordering::Relaxed);
+            // SAFETY: `t <= b` means slot `b` holds words a push stored
+            // and no thief has claimed (the CAS below settles the t == b
+            // race before the job is returned).
             let job = unsafe { JobRef::from_words(data, exec) };
             if t == b {
                 // Last element: race the thieves for it.
@@ -139,6 +142,9 @@ impl Deque {
             {
                 return Steal::Retry;
             }
+            // SAFETY: the successful CAS on `top` makes this thief the
+            // unique claimant of slot `t`, whose words were stored by a
+            // push that happens-before the fence above.
             Steal::Success(unsafe { JobRef::from_words(data, exec) })
         } else {
             Steal::Empty

@@ -20,8 +20,8 @@ pub(crate) struct JobRef {
     execute_fn: unsafe fn(*const ()),
 }
 
-// A JobRef crosses threads by design; the underlying Job impls are
-// required (by the unsafe contract of `new`) to be Send-safe.
+// SAFETY: a JobRef crosses threads by design; the underlying Job impls
+// are required (by the unsafe contract of `new`) to be Send-safe.
 unsafe impl Send for JobRef {}
 
 impl JobRef {
@@ -30,6 +30,9 @@ impl JobRef {
     pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
         JobRef {
             data: data as *const (),
+            // SAFETY: `ptr` is the `data` stored alongside this thunk,
+            // which the caller guarantees is a live `*const T` until
+            // the single execution.
             execute_fn: |ptr| unsafe { T::execute(ptr as *const T) },
         }
     }
@@ -54,6 +57,8 @@ impl JobRef {
     pub(crate) unsafe fn from_words(data: usize, exec: usize) -> JobRef {
         JobRef {
             data: data as *const (),
+            // SAFETY: `exec` is a fn pointer previously cast to usize by
+            // `to_words`; round-tripping through usize is lossless.
             execute_fn: unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(exec) },
         }
     }
@@ -107,12 +112,17 @@ where
     /// # Safety
     /// The returned ref must execute before `self` drops.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        // SAFETY: the caller keeps `self` alive until execution (this
+        // function's own contract).
         unsafe { JobRef::new(self) }
     }
 
     /// Reclaim the closure when the job was never handed to the pool
     /// (deque-full fallback) so the caller can run it directly.
     pub(crate) fn take_func(&self) -> F {
+        // SAFETY: the closure cell is touched exactly once — either here
+        // (deque-full fallback) or in `execute`, never both, and never
+        // concurrently: until execution the job belongs to one thread.
         unsafe { (*self.func.get()).take() }.expect("job closure already taken")
     }
 
@@ -132,12 +142,17 @@ where
     F: FnOnce() -> R,
 {
     unsafe fn execute(this: *const Self) {
+        // SAFETY: `execute` is called exactly once while the spawner's
+        // frame (which owns `this`) is blocked on the latch, so the
+        // pointee is live and unaliased-for-writes.
         let this = unsafe { &*this };
         let func = this.take_func();
         let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(p) => JobResult::Panic(p),
         };
+        // SAFETY: only the executor writes the result cell, once, before
+        // the latch releases the (blocked) reader.
         unsafe { *this.result.get() = result };
         // Setting the latch releases the spawner, which may deallocate
         // the frame — it must be the last touch of `this`.
@@ -155,12 +170,16 @@ impl<F: FnOnce() + Send> HeapJob<F> {
     /// Box the closure and erase it into a [`JobRef`].
     pub(crate) fn into_job_ref(func: F) -> JobRef {
         let boxed = Box::new(HeapJob { func });
+        // SAFETY: the raw pointer comes from `Box::into_raw`, so it is
+        // valid until `execute` reclaims the box (exactly once).
         unsafe { JobRef::new(Box::into_raw(boxed)) }
     }
 }
 
 impl<F: FnOnce()> Job for HeapJob<F> {
     unsafe fn execute(this: *const Self) {
+        // SAFETY: `this` came from `Box::into_raw` in `into_job_ref` and
+        // execute runs once, so reclaiming the box here is sound.
         let boxed = unsafe { Box::from_raw(this as *mut Self) };
         // Panic handling is the closure's responsibility (scope wraps
         // its tasks); the box must still free on unwind.

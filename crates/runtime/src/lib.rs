@@ -171,6 +171,15 @@ mod tests {
 
     #[test]
     fn steals_happen_with_many_workers() {
+        // On a single hardware thread the four workers time-slice and a
+        // worker can drain its own deque before anyone wakes to steal,
+        // so the assertion below would be flaky. Skip, as the scaling
+        // integration tests do.
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if hw < 2 {
+            eprintln!("steals_happen_with_many_workers: skipped ({hw} hardware threads < 2)");
+            return;
+        }
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let before = steal_count();
         // Spawn enough slow-ish tasks that idle workers must steal.

@@ -222,6 +222,9 @@ impl Registry {
         let mut idle_spins = 0u32;
         while probe() {
             if let Some(job) = self.find_work(index) {
+                // SAFETY: `find_work` yields each queued job exactly
+                // once, and a queued job's pointee is alive until it
+                // runs (StackJob frames block; HeapJobs own themselves).
                 unsafe { job.execute() };
                 idle_spins = 0;
             } else if idle_spins < 32 {
@@ -249,7 +252,7 @@ impl Registry {
         }
         let latch = LockLatch::new();
         let job = StackJob::new(&latch, op);
-        // Safety: this frame blocks on the latch until the job ran.
+        // SAFETY: this frame blocks on the latch until the job ran.
         let job_ref = unsafe { job.as_job_ref() };
         self.inject(job_ref);
         latch.wait();
@@ -271,6 +274,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
             // owner; scope tasks catch for the scope), so an unwind
             // escaping here would indicate a runtime bug and is allowed
             // to take the worker down loudly.
+            // SAFETY: `find_work` hands out each job once, live until run.
             unsafe { job.execute() };
             continue;
         }
@@ -399,6 +403,8 @@ impl ThreadPool {
             Some(index) => {
                 if let Err(job) = self.registry.push_local(index, job) {
                     // Deque full (pathological fan-out): run inline.
+                    // SAFETY: the rejected ref is this HeapJob's only
+                    // copy; executing it here is its single run.
                     unsafe { job.execute() };
                 }
             }
@@ -519,6 +525,8 @@ fn global_pool() -> &'static ThreadPool {
 /// pool has or would have.
 pub fn current_num_threads() -> usize {
     match WORKER.with(|w| w.get()) {
+        // SAFETY: the worker TLS holds its own registry's address, and
+        // a registry outlives its workers.
         Some((addr, _)) => unsafe { &*(addr as *const Registry) }.width,
         None => match GLOBAL.get() {
             Some(pool) => pool.current_num_threads(),
@@ -545,6 +553,8 @@ where
     let worker = WORKER.with(|w| w.get());
     match worker {
         Some((addr, index)) => {
+            // SAFETY: the worker TLS holds its own registry's address,
+            // and a registry outlives its workers.
             let registry = unsafe { &*(addr as *const Registry) };
             join_on_worker(registry, index, oper_a, oper_b)
         }
@@ -561,7 +571,7 @@ where
 {
     let latch = SpinLatch::new();
     let job_b = StackJob::new(&latch, oper_b);
-    // Safety: this frame outlives the job — every path below either
+    // SAFETY: this frame outlives the job — every path below either
     // executes it or waits for its latch before returning/unwinding.
     let job_b_ref = unsafe { job_b.as_job_ref() };
     if registry.push_local(index, job_b_ref).is_err() {
@@ -582,10 +592,13 @@ where
                     // a panicked: discard b rather than running it.
                     drop(job_b.take_func());
                 } else {
+                    // SAFETY: we popped our own b back — this is its
+                    // only copy and only run; the frame is live.
                     unsafe { job.execute() };
                 }
                 break;
             }
+            // SAFETY: a pop yields each pushed job exactly once.
             Some(job) => unsafe { job.execute() },
             None => {
                 registry.wait_until(index, &latch);
@@ -604,6 +617,8 @@ where
 /// smuggle the scope pointer into erased task closures, which is sound
 /// because the scope outlives (blocks on) all of its tasks.
 struct SendPtr(*const ());
+// SAFETY: only used for the scope pointer, which stays valid on every
+// thread because the scope blocks until all of its tasks are done.
 unsafe impl Send for SendPtr {}
 
 impl SendPtr {
@@ -653,7 +668,7 @@ impl<'scope> Scope<'scope> {
         self.pending.fetch_add(1, Ordering::SeqCst);
         let scope_ptr = SendPtr(self as *const Scope<'scope> as *const ());
         let task = move || {
-            // Safety: the scope blocks in `wait_all` until `pending`
+            // SAFETY: the scope blocks in `wait_all` until `pending`
             // drains, so the pointer is valid for the task's lifetime.
             let scope = unsafe { &*(scope_ptr.get() as *const Scope<'scope>) };
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
@@ -667,6 +682,8 @@ impl<'scope> Scope<'scope> {
                 if let Err(job) = self.registry.push_local(index, job) {
                     // Deque full: run inline; unwind-safety is inside
                     // the closure.
+                    // SAFETY: the rejected ref is this HeapJob's only
+                    // copy; executing it here is its single run.
                     unsafe { job.execute() };
                 }
             }
@@ -699,6 +716,8 @@ impl<'scope> Scope<'scope> {
                 let mut idle_spins = 0u32;
                 while self.pending.load(Ordering::SeqCst) > 0 {
                     if let Some(job) = self.registry.find_work(index) {
+                        // SAFETY: `find_work` hands out each queued job
+                        // exactly once, live until run.
                         unsafe { job.execute() };
                         idle_spins = 0;
                     } else if idle_spins < 32 {
@@ -735,9 +754,12 @@ where
     let worker = WORKER.with(|w| w.get());
     match worker {
         Some((addr, _)) => {
+            // SAFETY: the worker TLS holds its own registry's address,
+            // and a registry outlives its workers.
             let registry = unsafe { &*(addr as *const Registry) };
-            // Re-arc through the worker's registry address. Safety: the
-            // registry outlives its workers, and we are on one.
+            // Re-arc through the worker's registry address. SAFETY: the
+            // address points into a live Arc<Registry> allocation, so
+            // bumping the count and re-wrapping yields a valid handle.
             let registry = unsafe {
                 Arc::increment_strong_count(registry as *const Registry);
                 Arc::from_raw(registry as *const Registry)
@@ -784,8 +806,12 @@ where
     let worker = WORKER.with(|w| w.get());
     match worker {
         Some((addr, index)) => {
+            // SAFETY: the worker TLS holds its own registry's address,
+            // and a registry outlives its workers.
             let registry = unsafe { &*(addr as *const Registry) };
             if let Err(job) = registry.push_local(index, job) {
+                // SAFETY: deque full — the rejected ref is this
+                // HeapJob's only copy; this is its single run.
                 unsafe { job.execute() };
             }
         }

@@ -1,0 +1,197 @@
+//! Acceptance checking for *numerical* APA instantiations.
+//!
+//! The catalog's `.alg` APA entries (`bini_322_10`, `schonhage_333_21`)
+//! are floating-point instantiations of border schemes at a fixed small
+//! ε, produced by numerical search — they carry no ε structure, so the
+//! full ℚ\[ε\] proof of [`crate::border`] does not apply to them
+//! directly. What *can* be machine-checked, and what this module
+//! enforces, replaces the old `residual > 0.25` magic number:
+//!
+//! 1. **Rank deficit** — `R < m·k·n`, otherwise the scheme claims no
+//!    border saving and classical multiplication dominates it.
+//! 2. **Unique rounding** — the recomputed Brent residual must be
+//!    `< 1/2`. The matmul tensor has 0/1 entries, so a residual below
+//!    one half proves `T_{⟨m,k,n⟩}` is the *unique* nearest integer
+//!    tensor to the reconstruction: the fit approximates this product
+//!    and no other.
+//! 3. **Declared = recomputed** — the residual recorded in the `.alg`
+//!    header must agree with the recomputation to the header's printed
+//!    precision, so a stale comment (or a silently edited data file)
+//!    is an error, not a footnote.
+//!
+//! Border schemes that *do* carry polynomial coefficients (e.g.
+//! [`crate::border::schonhage_tau_scheme`], future flip-graph output)
+//! should be certified with [`crate::border::certify_border`] and
+//! shipped with that certificate instead.
+
+use fmm_tensor::Decomposition;
+use std::fmt;
+
+/// Maximum admissible Brent residual for a numerical APA fit: below
+/// one half, the 0/1 matmul tensor is the unique nearest integer
+/// tensor to the reconstruction.
+pub const UNIQUE_ROUNDING_BOUND: f64 = 0.5;
+
+/// Relative slack when matching a recomputed residual against the
+/// header-declared value (headers print 4 significant digits).
+pub const DECLARED_MATCH_RTOL: f64 = 1e-3;
+
+/// Why an APA fit was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApaError {
+    /// `R ≥ m·k·n`: no border saving is claimed, reject.
+    NoRankDeficit {
+        /// Rank of the fit.
+        rank: usize,
+        /// Classical multiplication count `m·k·n`.
+        classical: usize,
+    },
+    /// Residual ≥ 1/2: the fit is not uniquely attributable to
+    /// `⟨m,k,n⟩`.
+    AmbiguousRounding {
+        /// Recomputed residual.
+        residual: f64,
+    },
+    /// Header comment disagrees with the recomputed residual.
+    StaleDeclaredResidual {
+        /// Residual stated in the `.alg` header.
+        declared: f64,
+        /// Residual recomputed from the coefficients.
+        recomputed: f64,
+    },
+    /// A factor entry is NaN/∞.
+    NonFinite,
+}
+
+impl fmt::Display for ApaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApaError::NoRankDeficit { rank, classical } => {
+                write!(f, "APA fit has rank {rank} ≥ classical {classical}: no border saving")
+            }
+            ApaError::AmbiguousRounding { residual } => write!(
+                f,
+                "APA residual {residual:.3e} ≥ {UNIQUE_ROUNDING_BOUND}: nearest integer tensor is ambiguous"
+            ),
+            ApaError::StaleDeclaredResidual { declared, recomputed } => write!(
+                f,
+                "declared residual {declared:.3e} is stale: recomputation gives {recomputed:.3e}"
+            ),
+            ApaError::NonFinite => write!(f, "APA fit contains non-finite coefficients"),
+        }
+    }
+}
+
+/// Acceptance report for a numerical APA fit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApaReport {
+    /// Base case of the fit.
+    pub base: (usize, usize, usize),
+    /// Rank of the fit.
+    pub rank: usize,
+    /// Classical multiplication count.
+    pub classical_rank: usize,
+    /// Recomputed (deterministic) Brent residual.
+    pub residual: f64,
+}
+
+/// Check a numerical APA fit against the declared header residual.
+/// See the module docs for the three criteria.
+pub fn check_apa_fit(dec: &Decomposition, declared: f64) -> Result<ApaReport, ApaError> {
+    let finite = |m: &fmm_matrix::Matrix| m.as_slice().iter().all(|x| x.is_finite());
+    if !(finite(&dec.u) && finite(&dec.v) && finite(&dec.w)) {
+        return Err(ApaError::NonFinite);
+    }
+    let (rank, classical) = (dec.rank(), dec.classical_rank());
+    if rank >= classical {
+        return Err(ApaError::NoRankDeficit { rank, classical });
+    }
+    let residual = dec.residual();
+    if residual.is_nan() || residual >= UNIQUE_ROUNDING_BOUND {
+        return Err(ApaError::AmbiguousRounding { residual });
+    }
+    let tol = DECLARED_MATCH_RTOL * declared.abs().max(f64::MIN_POSITIVE);
+    if (residual - declared).abs() > tol {
+        return Err(ApaError::StaleDeclaredResidual {
+            declared,
+            recomputed: residual,
+        });
+    }
+    Ok(ApaReport {
+        base: dec.base(),
+        rank,
+        classical_rank: classical,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::strassen;
+    use fmm_matrix::Matrix;
+
+    fn fake_apa() -> (Decomposition, f64) {
+        // Strassen with a small perturbation stands in for a numerical
+        // border fit: rank 7 < 8, small nonzero residual.
+        let mut s = strassen();
+        s.u[(0, 0)] += 1e-3;
+        let declared = s.residual();
+        (s, declared)
+    }
+
+    #[test]
+    fn honest_fit_passes() {
+        let (dec, declared) = fake_apa();
+        let report = check_apa_fit(&dec, declared).unwrap();
+        assert_eq!(report.rank, 7);
+        assert_eq!(report.classical_rank, 8);
+        assert!(report.residual > 0.0 && report.residual < 0.5);
+    }
+
+    #[test]
+    fn stale_header_is_rejected() {
+        let (dec, declared) = fake_apa();
+        let err = check_apa_fit(&dec, declared * 10.0).unwrap_err();
+        assert!(matches!(err, ApaError::StaleDeclaredResidual { .. }));
+        assert!(err.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn ambiguous_fit_is_rejected() {
+        let mut s = strassen();
+        s.u[(0, 0)] = 2.0; // residual jumps past 1/2
+        let declared = s.residual();
+        assert!(matches!(
+            check_apa_fit(&s, declared),
+            Err(ApaError::AmbiguousRounding { .. })
+        ));
+    }
+
+    #[test]
+    fn no_rank_deficit_is_rejected() {
+        // A rank-8 classical-style decomposition claims no saving.
+        let dec = Decomposition::new(
+            2,
+            2,
+            2,
+            Matrix::zeros(4, 8),
+            Matrix::zeros(4, 8),
+            Matrix::zeros(4, 8),
+        );
+        assert!(matches!(
+            check_apa_fit(&dec, 0.0),
+            Err(ApaError::NoRankDeficit {
+                rank: 8,
+                classical: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        let mut s = strassen();
+        s.w[(0, 0)] = f64::INFINITY;
+        assert_eq!(check_apa_fit(&s, 0.0), Err(ApaError::NonFinite));
+    }
+}

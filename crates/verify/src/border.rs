@@ -1,0 +1,478 @@
+//! Border-rank certification in ℚ\[ε\].
+//!
+//! An APA scheme in Bini's sense is a decomposition whose factor
+//! entries are polynomials in ε. It certifies `R_b(T) ≤ R` when the
+//! exact reconstruction satisfies
+//!
+//! ```text
+//! Σ_r u_r(ε) ∘ v_r(ε) ∘ w_r(ε)  =  ε^d · T  +  O(ε^{d+1})
+//! ```
+//!
+//! for some degeneration order `d` — every power below `d` cancels
+//! *identically*, and the ε^d coefficient is exactly `T`. This module
+//! proves that statement over ℚ\[ε\] with no floating point anywhere,
+//! and reports the explicit error-term degree, replacing "the float
+//! residual looked small" with an actual border-rank certificate.
+
+use crate::exact::CertifyError;
+use crate::poly::EpsPoly;
+use crate::rational::{Rat, RatError};
+use fmm_matrix::Matrix;
+use fmm_tensor::Decomposition;
+use std::fmt;
+
+/// A dense order-3 tensor with exact rational entries — the
+/// certification target (`⟨m,k,n⟩`, a direct sum, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RatTensor {
+    dims: [usize; 3],
+    data: Vec<Rat>,
+}
+
+impl RatTensor {
+    /// All-zero tensor.
+    pub fn zeros(d0: usize, d1: usize, d2: usize) -> RatTensor {
+        RatTensor {
+            dims: [d0, d1, d2],
+            data: vec![Rat::ZERO; d0 * d1 * d2],
+        }
+    }
+
+    /// Dimensions.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    fn idx(&self, a: usize, b: usize, c: usize) -> usize {
+        (a * self.dims[1] + b) * self.dims[2] + c
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, a: usize, b: usize, c: usize) -> Rat {
+        self.data[self.idx(a, b, c)]
+    }
+
+    /// Entry mutator.
+    pub fn set(&mut self, a: usize, b: usize, c: usize, v: Rat) {
+        let i = self.idx(a, b, c);
+        self.data[i] = v;
+    }
+
+    /// The exact matmul tensor `T_{⟨m,k,n⟩}` (same index convention as
+    /// `fmm_tensor::matmul_tensor`: row-major vec(A), vec(B), vec(C)).
+    pub fn matmul(m: usize, k: usize, n: usize) -> RatTensor {
+        let mut t = RatTensor::zeros(m * k, k * n, m * n);
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    t.set(i * k + p, p * n + j, i * n + j, Rat::ONE);
+                }
+            }
+        }
+        t
+    }
+}
+
+/// A rank-R decomposition over ℚ\[ε\]: `u`/`v`/`w` are `rows × R`
+/// matrices of polynomials (same layout as [`Decomposition`], with
+/// f64 entries replaced by [`EpsPoly`]).
+#[derive(Clone, Debug)]
+pub struct PolyDecomposition {
+    /// `rows_u × R` A-side factor.
+    pub u: Vec<Vec<EpsPoly>>,
+    /// `rows_v × R` B-side factor.
+    pub v: Vec<Vec<EpsPoly>>,
+    /// `rows_w × R` output factor.
+    pub w: Vec<Vec<EpsPoly>>,
+}
+
+/// Proof record for a border-rank bound. Only [`certify_border`]
+/// constructs one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BorderCertificate {
+    /// Target tensor dimensions.
+    pub dims: [usize; 3],
+    /// Certified border-rank bound (number of ε-products).
+    pub rank: usize,
+    /// Degeneration order `d`: reconstruction is `ε^d·T + O(ε^{d+1})`.
+    pub degeneration_order: usize,
+    /// Lowest power of ε carrying a nonzero error term, or `None` when
+    /// the reconstruction is *exactly* `ε^d·T` (an exact algorithm).
+    pub error_degree: Option<usize>,
+    /// Highest ε power appearing anywhere in the reconstruction.
+    pub max_degree: usize,
+}
+
+impl fmt::Display for BorderCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "border rank ≤ {} for {}×{}×{} target: reconstruction = ε^{}·T",
+            self.rank, self.dims[0], self.dims[1], self.dims[2], self.degeneration_order
+        )?;
+        match self.error_degree {
+            Some(e) => write!(f, " + O(ε^{e}) (max degree {})", self.max_degree),
+            None => write!(f, " exactly"),
+        }
+    }
+}
+
+impl PolyDecomposition {
+    /// Rank (number of products).
+    pub fn rank(&self) -> usize {
+        self.u.first().map_or(0, Vec::len)
+    }
+
+    fn shape_check(&self, target: &RatTensor) -> Result<(), CertifyError> {
+        let [a, b, c] = target.dims();
+        let r = self.rank();
+        let ok = self.u.len() == a
+            && self.v.len() == b
+            && self.w.len() == c
+            && self.u.iter().all(|row| row.len() == r)
+            && self.v.iter().all(|row| row.len() == r)
+            && self.w.iter().all(|row| row.len() == r);
+        if ok {
+            Ok(())
+        } else {
+            Err(CertifyError::BorderMismatch {
+                power: 0,
+                detail: format!(
+                    "factor shapes ({}, {}, {}) rank {} do not match target {a}×{b}×{c}",
+                    self.u.len(),
+                    self.v.len(),
+                    self.w.len(),
+                    r
+                ),
+            })
+        }
+    }
+
+    /// Exact reconstruction `Σ_r u_r ∘ v_r ∘ w_r` as a tensor of
+    /// polynomials (flattened row-major over the target dims).
+    fn reconstruct(&self, dims: [usize; 3]) -> Result<Vec<EpsPoly>, RatError> {
+        let mut out = vec![EpsPoly::zero(); dims[0] * dims[1] * dims[2]];
+        for r in 0..self.rank() {
+            for (a, urow) in self.u.iter().enumerate() {
+                if urow[r].is_zero() {
+                    continue;
+                }
+                for (b, vrow) in self.v.iter().enumerate() {
+                    if vrow[r].is_zero() {
+                        continue;
+                    }
+                    let uv = urow[r].mul(&vrow[r])?;
+                    for (c, wrow) in self.w.iter().enumerate() {
+                        if wrow[r].is_zero() {
+                            continue;
+                        }
+                        let term = uv.mul(&wrow[r])?;
+                        let i = (a * dims[1] + b) * dims[2] + c;
+                        out[i] = out[i].add(&term)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Instantiate at a concrete rational `ε ≠ 0`: evaluate U and V,
+    /// evaluate W and divide it by ε^d. For an order-`d` certificate
+    /// against `⟨m,k,n⟩` this yields a float [`Decomposition`] whose
+    /// Brent residual is O(ε) — the practical APA algorithm.
+    pub fn instantiate(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        eps: Rat,
+        degeneration_order: usize,
+    ) -> Result<Decomposition, CertifyError> {
+        if eps.is_zero() {
+            return Err(CertifyError::Arithmetic(RatError::DivisionByZero));
+        }
+        let mut scale = Rat::ONE;
+        for _ in 0..degeneration_order {
+            scale = scale.mul(&eps)?;
+        }
+        let eval = |rows: &[Vec<EpsPoly>], div: bool| -> Result<Matrix, CertifyError> {
+            let r = self.rank();
+            let mut mat = Matrix::zeros(rows.len(), r);
+            for (i, row) in rows.iter().enumerate() {
+                for (c, p) in row.iter().enumerate() {
+                    let mut val = p.eval(&eps)?;
+                    if div {
+                        val = val.div(&scale)?;
+                    }
+                    mat[(i, c)] = val.to_f64();
+                }
+            }
+            Ok(mat)
+        };
+        let u = eval(&self.u, false)?;
+        let v = eval(&self.v, false)?;
+        let w = eval(&self.w, true)?;
+        Ok(Decomposition::new(m, k, n, u, v, w))
+    }
+}
+
+/// Prove `Σ_r u_r(ε)∘v_r(ε)∘w_r(ε) = ε^d·target + O(ε^{d+1})` exactly.
+///
+/// `expected_order`, when given, pins `d`: any nonzero term strictly
+/// below it is reported as [`CertifyError::LowOrderContamination`].
+/// When `None`, `d` is discovered as the valuation of the
+/// reconstruction. Either way the ε^d coefficient tensor must equal
+/// `target` entry-for-entry in ℚ.
+pub fn certify_border(
+    dec: &PolyDecomposition,
+    target: &RatTensor,
+    expected_order: Option<usize>,
+) -> Result<BorderCertificate, CertifyError> {
+    dec.shape_check(target)?;
+    let dims = target.dims();
+    let recon = dec.reconstruct(dims).map_err(CertifyError::Arithmetic)?;
+
+    let valuation = recon.iter().filter_map(EpsPoly::valuation).min();
+    let Some(valuation) = valuation else {
+        return Err(CertifyError::BorderMismatch {
+            power: expected_order.unwrap_or(0),
+            detail: "reconstruction is identically zero".into(),
+        });
+    };
+    let d = expected_order.unwrap_or(valuation);
+    if valuation < d {
+        let mag = recon
+            .iter()
+            .map(|p| p.coeff(valuation).abs())
+            .max()
+            .unwrap_or(Rat::ZERO);
+        return Err(CertifyError::LowOrderContamination {
+            power: valuation,
+            magnitude: mag.to_string(),
+        });
+    }
+
+    let mut error_degree = None;
+    let mut max_degree = 0usize;
+    for (i, poly) in recon.iter().enumerate() {
+        let c = i % dims[2];
+        let b = (i / dims[2]) % dims[1];
+        let a = i / (dims[1] * dims[2]);
+        let want = target.get(a, b, c);
+        if poly.coeff(d) != want {
+            return Err(CertifyError::BorderMismatch {
+                power: d,
+                detail: format!(
+                    "entry ({a},{b},{c}): ε^{d} coefficient is {}, target is {want}",
+                    poly.coeff(d)
+                ),
+            });
+        }
+        if let Some(deg) = poly.degree() {
+            max_degree = max_degree.max(deg);
+            for q in (d + 1)..=deg {
+                if !poly.coeff(q).is_zero() {
+                    error_degree = Some(error_degree.map_or(q, |e: usize| e.min(q)));
+                    break;
+                }
+            }
+        }
+    }
+
+    Ok(BorderCertificate {
+        dims,
+        rank: dec.rank(),
+        degeneration_order: d,
+        error_degree,
+        max_degree,
+    })
+}
+
+/// Lift an exact float decomposition into ℚ\[ε\] (constant polynomials).
+/// Certifying it against `⟨m,k,n⟩` yields `d = 0` with no error term —
+/// exact algorithms are the degenerate case of border ones.
+pub fn lift_exact(dec: &Decomposition) -> Result<PolyDecomposition, CertifyError> {
+    let lift = |mat: &Matrix| -> Result<Vec<Vec<EpsPoly>>, CertifyError> {
+        (0..mat.rows())
+            .map(|i| {
+                (0..mat.cols())
+                    .map(|c| Ok(EpsPoly::constant(Rat::from_f64(mat[(i, c)])?)))
+                    .collect()
+            })
+            .collect()
+    };
+    Ok(PolyDecomposition {
+        u: lift(&dec.u)?,
+        v: lift(&dec.v)?,
+        w: lift(&dec.w)?,
+    })
+}
+
+/// Schönhage's τ-theorem tensor `⟨k,1,n⟩ ⊕ ⟨1,(k−1)(n−1),1⟩`: a k×n
+/// outer product plus a disjoint (k−1)(n−1)-term inner product.
+/// Variable order: x = [x_1..x_k, u_11..], y = [y_1..y_n, v_11..],
+/// z = [z_11..z_kn row-major, w].
+pub fn schonhage_tau_target(k: usize, n: usize) -> RatTensor {
+    let m = (k - 1) * (n - 1);
+    let mut t = RatTensor::zeros(k + m, n + m, k * n + 1);
+    for i in 0..k {
+        for j in 0..n {
+            t.set(i, j, i * n + j, Rat::ONE);
+        }
+    }
+    for s in 0..m {
+        t.set(k + s, n + s, k * n, Rat::ONE);
+    }
+    t
+}
+
+/// Schönhage's border scheme proving
+/// `R_b(⟨k,1,n⟩ ⊕ ⟨1,(k−1)(n−1),1⟩) ≤ kn + 1`, a genuine saving over
+/// the classical `kn + (k−1)(n−1)` separate products whenever
+/// `(k−1)(n−1) > 1`. Products: `p_ij = (x_i + ε·a_ij)(y_j + ε·b_ij)`
+/// for all (i,j), plus the correction `p_0 = (Σx_i)(Σy_j)`; the
+/// ε-perturbations are arranged so all columns/rows telescope:
+/// `Σ_ij p_ij − p_0 = ε²·Σ_s u_s v_s + O(ε³)`.
+pub fn schonhage_tau_scheme(k: usize, n: usize) -> PolyDecomposition {
+    assert!(k >= 2 && n >= 2, "the τ construction needs k,n ≥ 2");
+    let m = (k - 1) * (n - 1);
+    let rank = k * n + 1;
+    let zero_row = || vec![EpsPoly::zero(); rank];
+    let mut u = vec![zero_row(); k + m];
+    let mut v = vec![zero_row(); n + m];
+    let mut w = vec![zero_row(); k * n + 1];
+    let uidx = |i: usize, j: usize| k + i * (n - 1) + j; // u_ij, i<k−1, j<n−1
+    let vidx = |i: usize, j: usize| n + i * (n - 1) + j;
+    let one = EpsPoly::constant(Rat::ONE);
+    let eps = |c: i64| EpsPoly::monomial(Rat::int(c), 1);
+
+    for i in 0..k {
+        for j in 0..n {
+            let col = i * n + j;
+            // A side: x_i + ε·a_ij with a_ij = u_ij (interior),
+            // a_{k−1,j} = −Σ_{i<k−1} u_ij (last row), a_{i,n−1} = 0.
+            u[i][col] = one.clone();
+            if j < n - 1 {
+                if i < k - 1 {
+                    u[uidx(i, j)][col] = eps(1);
+                } else {
+                    for i2 in 0..k - 1 {
+                        u[uidx(i2, j)][col] = eps(-1);
+                    }
+                }
+            }
+            // B side: y_j + ε·b_ij with b_ij = v_ij (interior),
+            // b_{i,n−1} = −Σ_{j<n−1} v_ij (last column), b_{k−1,j} = 0.
+            v[j][col] = one.clone();
+            if i < k - 1 {
+                if j < n - 1 {
+                    v[vidx(i, j)][col] = eps(1);
+                } else {
+                    for j2 in 0..n - 1 {
+                        v[vidx(i, j2)][col] = eps(-1);
+                    }
+                }
+            }
+            // Outer-product outputs surface at the degeneration order:
+            // z_ij ← ε²·p_ij.
+            w[i * n + j][col] = EpsPoly::monomial(Rat::ONE, 2);
+            // Inner-product output: w ← Σ p_ij − p_0.
+            w[k * n][col] = one.clone();
+        }
+    }
+    // p_0 = (Σ_i x_i)(Σ_j y_j), subtracted from the w row.
+    let col0 = k * n;
+    for u_row in u.iter_mut().take(k) {
+        u_row[col0] = one.clone();
+    }
+    for v_row in v.iter_mut().take(n) {
+        v_row[col0] = one.clone();
+    }
+    w[k * n][col0] = EpsPoly::constant(Rat::int(-1));
+
+    PolyDecomposition { u, v, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::strassen;
+
+    #[test]
+    fn exact_strassen_lifts_to_an_order_zero_border_certificate() {
+        let poly = lift_exact(&strassen()).unwrap();
+        let cert = certify_border(&poly, &RatTensor::matmul(2, 2, 2), None).unwrap();
+        assert_eq!(cert.degeneration_order, 0);
+        assert_eq!(cert.error_degree, None);
+        assert_eq!(cert.rank, 7);
+        assert!(cert.to_string().ends_with("exactly"));
+    }
+
+    #[test]
+    fn schonhage_tau_2_2_certifies_at_order_two() {
+        let dec = schonhage_tau_scheme(2, 2);
+        let target = schonhage_tau_target(2, 2);
+        let cert = certify_border(&dec, &target, Some(2)).unwrap();
+        assert_eq!(cert.rank, 5);
+        assert_eq!(cert.degeneration_order, 2);
+        assert_eq!(cert.error_degree, Some(3));
+    }
+
+    #[test]
+    fn schonhage_tau_3_3_beats_the_classical_rank() {
+        // ⟨3,1,3⟩⊕⟨1,4,1⟩: classical rank 9 + 4 = 13, border ≤ 10.
+        let dec = schonhage_tau_scheme(3, 3);
+        let target = schonhage_tau_target(3, 3);
+        let cert = certify_border(&dec, &target, None).unwrap();
+        assert_eq!(cert.rank, 10);
+        assert_eq!(cert.degeneration_order, 2);
+        assert_eq!(cert.error_degree, Some(3));
+    }
+
+    #[test]
+    fn contaminated_scheme_is_rejected_below_the_declared_order() {
+        let mut dec = schonhage_tau_scheme(2, 2);
+        // Sneak a constant into an output row that should carry ε².
+        dec.w[0][1] = EpsPoly::constant(Rat::ONE);
+        let target = schonhage_tau_target(2, 2);
+        match certify_border(&dec, &target, Some(2)) {
+            Err(CertifyError::LowOrderContamination { power, .. }) => assert!(power < 2),
+            other => panic!("expected contamination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_coefficient_is_a_border_mismatch() {
+        let mut dec = schonhage_tau_scheme(2, 2);
+        // z_11 ← 2ε²·p_11: still order 2, but the ε² coefficient is 2·T
+        // on that slice.
+        dec.w[0][0] = EpsPoly::monomial(Rat::int(2), 2);
+        let target = schonhage_tau_target(2, 2);
+        assert!(matches!(
+            certify_border(&dec, &target, Some(2)),
+            Err(CertifyError::BorderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn instantiation_residual_shrinks_linearly_with_eps() {
+        // Certify first, then instantiate the exact-lift of Strassen at
+        // any ε (d = 0): the float residual must be exactly zero.
+        let poly = lift_exact(&strassen()).unwrap();
+        let inst = poly
+            .instantiate(2, 2, 2, Rat::new(1, 8).unwrap(), 0)
+            .unwrap();
+        assert_eq!(inst.residual(), 0.0);
+    }
+
+    #[test]
+    fn zero_scheme_is_rejected() {
+        let dec = PolyDecomposition {
+            u: vec![vec![EpsPoly::zero(); 2]; 4],
+            v: vec![vec![EpsPoly::zero(); 2]; 4],
+            w: vec![vec![EpsPoly::zero(); 2]; 4],
+        };
+        let target = RatTensor::matmul(2, 2, 1);
+        assert!(certify_border(&dec, &target, None).is_err());
+    }
+}

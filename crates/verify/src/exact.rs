@@ -1,0 +1,259 @@
+//! Exact certification of the Brent equations over ℚ.
+//!
+//! A decomposition `⟦U,V,W⟧` is a correct `⟨m,k,n⟩` algorithm iff all
+//! `m·k · k·n · m·n` Brent equations hold:
+//!
+//! ```text
+//! Σ_r u_{(i,p),r} · v_{(p',j),r} · w_{(i',j'),r} = δ_{p p'} δ_{i i'} δ_{j j'}
+//! ```
+//!
+//! The float `Decomposition::verify(tol)` checks this up to a
+//! tolerance; [`certify_exact`] lifts every entry to an exact rational
+//! ([`Rat`]) and proves each equation *identically*, so a passing
+//! scheme is correct — not merely plausible — and a certificate can
+//! accompany machine-generated schemes (e.g. future flip-graph output).
+
+use crate::rational::{Rat, RatError};
+use fmm_tensor::Decomposition;
+use std::fmt;
+
+/// Why certification failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CertifyError {
+    /// Arithmetic left the certifiable domain (i128 overflow or a
+    /// non-finite float entry). Not a correctness verdict.
+    Arithmetic(RatError),
+    /// A Brent equation is violated: the (u_row, v_row, w_row)
+    /// coordinate, the exact left-hand side, and the required value.
+    BrentViolation {
+        /// Row of U: `i·k + p`.
+        u_row: usize,
+        /// Row of V: `p'·n + j`.
+        v_row: usize,
+        /// Row of W: `i'·n + j'`.
+        w_row: usize,
+        /// Exact LHS `Σ_r u·v·w` as a display string (e.g. `"3/4"`).
+        got: String,
+        /// Required δ value, 0 or 1.
+        want: i64,
+    },
+    /// A border-rank certificate was requested but the reconstruction
+    /// has nonzero terms *below* the degeneration order.
+    LowOrderContamination {
+        /// The offending power of ε.
+        power: usize,
+        /// Max |coefficient| at that power, for the report.
+        magnitude: String,
+    },
+    /// The ε-power that should carry the target tensor does not.
+    BorderMismatch {
+        /// The degeneration order that was checked.
+        power: usize,
+        /// Human-readable first discrepancy.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Arithmetic(e) => write!(f, "certification arithmetic failed: {e}"),
+            CertifyError::BrentViolation { u_row, v_row, w_row, got, want } => write!(
+                f,
+                "Brent equation ({u_row},{v_row},{w_row}) violated: Σ u·v·w = {got}, expected {want}"
+            ),
+            CertifyError::LowOrderContamination { power, magnitude } => write!(
+                f,
+                "border scheme has nonzero ε^{power} term (max |coeff| {magnitude}) below the degeneration order"
+            ),
+            CertifyError::BorderMismatch { power, detail } => {
+                write!(f, "ε^{power} coefficient does not equal the target tensor: {detail}")
+            }
+        }
+    }
+}
+
+impl From<RatError> for CertifyError {
+    fn from(e: RatError) -> Self {
+        CertifyError::Arithmetic(e)
+    }
+}
+
+/// Proof record for an exact scheme. Construction only succeeds through
+/// [`certify_exact`], so holding one means every Brent equation was
+/// checked identically in ℚ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactCertificate {
+    /// Certified base case.
+    pub m: usize,
+    /// Certified base case.
+    pub k: usize,
+    /// Certified base case.
+    pub n: usize,
+    /// Rank of the certified decomposition.
+    pub rank: usize,
+    /// Number of Brent equations proven (`(mk)·(kn)·(mn)`).
+    pub equations: usize,
+    /// Largest denominator among the factor entries — a proxy for how
+    /// "simple" the scheme's coefficients are (§2.3 prefers dyadics).
+    pub max_denominator: i128,
+}
+
+impl fmt::Display for ExactCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{},{},{}⟩ rank-{}: {} Brent equations hold identically in ℚ (max denominator {})",
+            self.m, self.k, self.n, self.rank, self.equations, self.max_denominator
+        )
+    }
+}
+
+/// Lift a factor matrix to exact rationals, column-major by rank so the
+/// inner certification loop walks contiguous columns.
+fn lift(mat: &fmm_matrix::Matrix) -> Result<(Vec<Vec<Rat>>, i128), CertifyError> {
+    let mut cols = Vec::with_capacity(mat.cols());
+    let mut max_den = 1i128;
+    for r in 0..mat.cols() {
+        let mut col = Vec::with_capacity(mat.rows());
+        for i in 0..mat.rows() {
+            let q = Rat::from_f64(mat[(i, r)])?;
+            max_den = max_den.max(q.denom());
+            col.push(q);
+        }
+        cols.push(col);
+    }
+    Ok((cols, max_den))
+}
+
+/// Prove all Brent equations for `dec` identically in ℚ.
+///
+/// Every f64 entry is converted *exactly* (each finite double is a
+/// dyadic rational), so there is no rounding anywhere in the check.
+/// Returns the first violated equation, or an [`CertifyError::Arithmetic`]
+/// if an i128 intermediate overflows (possible only for schemes with
+/// enormous mantissas — not for catalog-style dyadic coefficients).
+pub fn certify_exact(dec: &Decomposition) -> Result<ExactCertificate, CertifyError> {
+    let (m, k, n) = dec.base();
+    let rank = dec.rank();
+    let (u, du) = lift(&dec.u)?;
+    let (v, dv) = lift(&dec.v)?;
+    let (w, dw) = lift(&dec.w)?;
+
+    for i in 0..m {
+        for p in 0..k {
+            let u_row = i * k + p;
+            for p2 in 0..k {
+                for j in 0..n {
+                    let v_row = p2 * n + j;
+                    for i2 in 0..m {
+                        for j2 in 0..n {
+                            let w_row = i2 * n + j2;
+                            let mut lhs = Rat::ZERO;
+                            for r in 0..rank {
+                                let term = u[r][u_row].mul(&v[r][v_row])?.mul(&w[r][w_row])?;
+                                lhs = lhs.add(&term)?;
+                            }
+                            let want = i64::from(p == p2 && i == i2 && j == j2);
+                            if lhs != Rat::int(want) {
+                                return Err(CertifyError::BrentViolation {
+                                    u_row,
+                                    v_row,
+                                    w_row,
+                                    got: lhs.to_string(),
+                                    want,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ExactCertificate {
+        m,
+        k,
+        n,
+        rank,
+        equations: (m * k) * (k * n) * (m * n),
+        max_denominator: du.max(dv).max(dw),
+    })
+}
+
+/// Method-syntax access to [`certify_exact`] (and the border checks) on
+/// foreign types: `use fmm_verify::Certify; dec.certify()?;`.
+pub trait Certify {
+    /// Prove this scheme exact in ℚ; see [`certify_exact`].
+    fn certify(&self) -> Result<ExactCertificate, CertifyError>;
+}
+
+impl Certify for Decomposition {
+    fn certify(&self) -> Result<ExactCertificate, CertifyError> {
+        certify_exact(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::strassen;
+
+    #[test]
+    fn strassen_certifies_exactly() {
+        let cert = certify_exact(&strassen()).unwrap();
+        assert_eq!((cert.m, cert.k, cert.n, cert.rank), (2, 2, 2, 7));
+        assert_eq!(cert.equations, 64);
+        assert_eq!(cert.max_denominator, 1);
+        assert!(cert.to_string().contains("64 Brent equations"));
+    }
+
+    #[test]
+    fn certify_trait_is_usable_on_decomposition() {
+        strassen().certify().unwrap();
+    }
+
+    #[test]
+    fn single_sign_flip_is_rejected_with_coordinates() {
+        let mut s = strassen();
+        s.w[(0, 6)] = -1.0; // C11 += -M7 instead of +M7
+        match s.certify() {
+            Err(CertifyError::BrentViolation { want, .. }) => assert!(want == 0 || want == 1),
+            other => panic!("expected BrentViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerance_scale_noise_passes_float_verify_but_fails_certify() {
+        let mut s = strassen();
+        s.u[(0, 0)] += 1e-13;
+        // The float path happily accepts this at its default tolerance…
+        s.verify(1e-9).unwrap();
+        // …the exact path does not.
+        assert!(matches!(
+            s.certify(),
+            Err(CertifyError::BrentViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_entries_are_an_arithmetic_error_not_a_pass() {
+        let mut s = strassen();
+        s.v[(1, 1)] = f64::NAN;
+        assert!(matches!(s.certify(), Err(CertifyError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn dyadic_rescaling_still_certifies() {
+        // u ↦ u/2, w ↦ 2w leaves every Brent LHS unchanged.
+        let mut s = strassen();
+        for c in 0..7 {
+            for row in 0..4 {
+                s.u[(row, c)] *= 0.5;
+                s.w[(row, c)] *= 2.0;
+            }
+        }
+        let cert = s.certify().unwrap();
+        assert_eq!(cert.max_denominator, 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! # fmm-verify — exact certification for fast-multiplication schemes
+//!
+//! Static analysis for the scheme catalog: everything here proves
+//! properties *identically* over ℚ (or ℚ\[ε\]) instead of eyeballing a
+//! floating-point residual.
+//!
+//! The paper's framework (Benson & Ballard, PPoPP 2015) composes
+//! `⟦U,V,W⟧` decompositions recursively; a single wrong coefficient in
+//! a `.alg` file silently corrupts every product computed with it. The
+//! ROADMAP's flip-graph search will mint *new* schemes mechanically,
+//! which raises the bar from "spot-checked" to "certified":
+//!
+//! - [`certify_exact`] / [`Certify::certify`] — prove all
+//!   `(mk)·(kn)·(mn)` Brent equations hold identically in ℚ. Factor
+//!   entries are lifted from f64 *exactly* (every finite double is a
+//!   dyadic rational); arithmetic is i128 and overflow-checked, so a
+//!   certificate can never be produced by rounding or wrapping.
+//! - [`certify_border`] — border-rank certification in ℚ\[ε\]: proves a
+//!   polynomial scheme reconstructs `ε^d·T + O(ε^{d+1})` with an
+//!   explicit degeneration order `d` and error-term degree.
+//!   [`schonhage_tau_scheme`] ships a certified literature example, and
+//!   [`lift_exact`] embeds exact schemes as the `d = 0` special case.
+//! - [`check_apa_fit`] — principled acceptance for *numerical* APA
+//!   instantiations (rank deficit, unique-rounding residual `< 1/2`,
+//!   header/recomputation agreement), replacing the old `0.25`
+//!   heuristic in the catalog loader.
+//!
+//! `fmm-algo` routes catalog loading through these checks, and the
+//! `xtask` lint gate re-validates every `.alg` data file in CI.
+//!
+//! ```
+//! use fmm_verify::Certify;
+//! # use fmm_matrix::Matrix;
+//! # use fmm_tensor::Decomposition;
+//! # let identity = Decomposition::new(1, 1, 1,
+//! #     Matrix::from_rows(&[&[1.0]]),
+//! #     Matrix::from_rows(&[&[1.0]]),
+//! #     Matrix::from_rows(&[&[1.0]]));
+//! let certificate = identity.certify().expect("⟨1,1,1⟩ is exact");
+//! assert_eq!(certificate.equations, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apa;
+pub mod border;
+pub mod exact;
+pub mod poly;
+pub mod rational;
+
+pub use apa::{check_apa_fit, ApaError, ApaReport, UNIQUE_ROUNDING_BOUND};
+pub use border::{
+    certify_border, lift_exact, schonhage_tau_scheme, schonhage_tau_target, BorderCertificate,
+    PolyDecomposition, RatTensor,
+};
+pub use exact::{certify_exact, Certify, CertifyError, ExactCertificate};
+pub use poly::EpsPoly;
+pub use rational::{Rat, RatError};
+
+/// Strassen's rank-7 scheme in this workspace's row-major convention —
+/// shared by the unit tests of several modules.
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use fmm_matrix::Matrix;
+    use fmm_tensor::Decomposition;
+
+    pub fn strassen() -> Decomposition {
+        let u = Matrix::from_rows(&[
+            &[1., 0., 1., 0., 1., -1., 0.],
+            &[0., 0., 0., 0., 1., 0., 1.],
+            &[0., 1., 0., 0., 0., 1., 0.],
+            &[1., 1., 0., 1., 0., 0., -1.],
+        ]);
+        let v = Matrix::from_rows(&[
+            &[1., 1., 0., -1., 0., 1., 0.],
+            &[0., 0., 1., 0., 0., 1., 0.],
+            &[0., 0., 0., 1., 0., 0., 1.],
+            &[1., 0., -1., 0., 1., 0., 1.],
+        ]);
+        let w = Matrix::from_rows(&[
+            &[1., 0., 0., 1., -1., 0., 1.],
+            &[0., 0., 1., 0., 1., 0., 0.],
+            &[0., 1., 0., 1., 0., 0., 0.],
+            &[1., -1., 1., 0., 0., 1., 0.],
+        ]);
+        Decomposition::new(2, 2, 2, u, v, w)
+    }
+}

@@ -1,0 +1,198 @@
+//! Polynomials in the border-rank indeterminate ε over exact rationals.
+//!
+//! An APA (arbitrary-precision approximate) scheme is a decomposition
+//! whose factor entries live in ℚ\[ε\]; it certifies a *border rank*
+//! bound when the reconstruction equals `ε^d · T + O(ε^{d+1})` for the
+//! target tensor `T`. Degrees stay tiny (entries are affine or
+//! quadratic in ε, so triple products have degree ≤ 6), so a dense
+//! `Vec<Rat>` coefficient vector is exact and cheap — no truncation is
+//! ever needed below the degree bound the certifier reports.
+
+use crate::rational::{Rat, RatError};
+use std::fmt;
+
+/// A polynomial `c0 + c1·ε + c2·ε² + …` with exact rational
+/// coefficients. The coefficient vector carries no trailing zeros.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpsPoly {
+    coeffs: Vec<Rat>,
+}
+
+impl EpsPoly {
+    /// The zero polynomial.
+    pub fn zero() -> EpsPoly {
+        EpsPoly { coeffs: Vec::new() }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rat) -> EpsPoly {
+        EpsPoly::from_coeffs(vec![c])
+    }
+
+    /// `c · ε^k`.
+    pub fn monomial(c: Rat, k: usize) -> EpsPoly {
+        let mut coeffs = vec![Rat::ZERO; k + 1];
+        coeffs[k] = c;
+        EpsPoly::from_coeffs(coeffs)
+    }
+
+    /// Build from an ascending coefficient vector (`coeffs[i]` is the
+    /// ε^i coefficient); trailing zeros are trimmed.
+    pub fn from_coeffs(mut coeffs: Vec<Rat>) -> EpsPoly {
+        while coeffs.last().is_some_and(Rat::is_zero) {
+            coeffs.pop();
+        }
+        EpsPoly { coeffs }
+    }
+
+    /// Coefficient of ε^k (zero beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> Rat {
+        self.coeffs.get(k).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True iff identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Order of the lowest nonzero term, or `None` if zero.
+    pub fn valuation(&self) -> Option<usize> {
+        self.coeffs.iter().position(|c| !c.is_zero())
+    }
+
+    /// Exact addition.
+    pub fn add(&self, rhs: &EpsPoly) -> Result<EpsPoly, RatError> {
+        let len = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = Vec::with_capacity(len);
+        for k in 0..len {
+            out.push(self.coeff(k).add(&rhs.coeff(k))?);
+        }
+        Ok(EpsPoly::from_coeffs(out))
+    }
+
+    /// Exact subtraction.
+    pub fn sub(&self, rhs: &EpsPoly) -> Result<EpsPoly, RatError> {
+        self.add(&rhs.neg())
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> EpsPoly {
+        EpsPoly {
+            coeffs: self.coeffs.iter().map(Rat::neg).collect(),
+        }
+    }
+
+    /// Exact full multiplication (no truncation).
+    pub fn mul(&self, rhs: &EpsPoly) -> Result<EpsPoly, RatError> {
+        if self.is_zero() || rhs.is_zero() {
+            return Ok(EpsPoly::zero());
+        }
+        let mut out = vec![Rat::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] = out[i + j].add(&a.mul(b)?)?;
+            }
+        }
+        Ok(EpsPoly::from_coeffs(out))
+    }
+
+    /// Scale by a rational.
+    pub fn scale(&self, s: &Rat) -> Result<EpsPoly, RatError> {
+        let mut out = Vec::with_capacity(self.coeffs.len());
+        for c in &self.coeffs {
+            out.push(c.mul(s)?);
+        }
+        Ok(EpsPoly::from_coeffs(out))
+    }
+
+    /// Exact evaluation at a rational ε (Horner).
+    pub fn eval(&self, eps: &Rat) -> Result<Rat, RatError> {
+        let mut acc = Rat::ZERO;
+        for c in self.coeffs.iter().rev() {
+            acc = acc.mul(eps)?.add(c)?;
+        }
+        Ok(acc)
+    }
+
+    /// Divide by ε^k exactly; fails if any coefficient below ε^k is
+    /// nonzero (the quotient would leave ℚ\[ε\]).
+    pub fn div_eps_pow(&self, k: usize) -> Option<EpsPoly> {
+        if self.coeffs.iter().take(k).any(|c| !c.is_zero()) {
+            return None;
+        }
+        Some(EpsPoly::from_coeffs(
+            self.coeffs.iter().skip(k).copied().collect(),
+        ))
+    }
+}
+
+impl fmt::Display for EpsPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "({c})ε")?,
+                _ => write!(f, "({c})ε^{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[i64]) -> EpsPoly {
+        EpsPoly::from_coeffs(coeffs.iter().map(|&c| Rat::int(c)).collect())
+    }
+
+    #[test]
+    fn trim_and_degree() {
+        assert!(p(&[0, 0]).is_zero());
+        assert_eq!(p(&[1, 0, 2]).degree(), Some(2));
+        assert_eq!(p(&[0, 3]).valuation(), Some(1));
+        assert_eq!(EpsPoly::zero().valuation(), None);
+    }
+
+    #[test]
+    fn ring_ops() {
+        // (1 + ε)(1 − ε) = 1 − ε²
+        let got = p(&[1, 1]).mul(&p(&[1, -1])).unwrap();
+        assert_eq!(got, p(&[1, 0, -1]));
+        assert_eq!(p(&[1, 2]).add(&p(&[3, -2, 5])).unwrap(), p(&[4, 0, 5]));
+        assert_eq!(p(&[1, 2]).sub(&p(&[1, 2])).unwrap(), EpsPoly::zero());
+    }
+
+    #[test]
+    fn eval_and_div() {
+        let q = p(&[0, 0, 3, 1]); // 3ε² + ε³
+        let half = Rat::new(1, 2).unwrap();
+        assert_eq!(q.eval(&half).unwrap(), Rat::new(7, 8).unwrap());
+        assert_eq!(q.div_eps_pow(2).unwrap(), p(&[3, 1]));
+        assert!(q.div_eps_pow(3).is_none());
+        assert_eq!(
+            EpsPoly::monomial(Rat::ONE, 2).div_eps_pow(2).unwrap(),
+            p(&[1])
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Exact rational arithmetic on `i128` numerator/denominator pairs.
+//!
+//! The certifier never wants "close enough": a Brent equation either
+//! holds identically in ℚ or the scheme is wrong. Every operation is
+//! overflow-checked and surfaces [`RatError::Overflow`] instead of
+//! wrapping, so a certificate is trustworthy even on adversarial input.
+//! There are deliberately no external big-integer dependencies; i128
+//! headroom (~1.7e38) comfortably covers the dyadic coefficients fast
+//! multiplication schemes use in practice.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Errors from exact arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RatError {
+    /// An intermediate value exceeded i128 range. The input is not
+    /// certifiable with this fixed-width representation (it is *not*
+    /// evidence the scheme is wrong).
+    Overflow,
+    /// A float input was NaN/∞ and has no rational value.
+    NonFinite(u64),
+    /// Division by an exact zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for RatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatError::Overflow => write!(f, "i128 rational overflow"),
+            RatError::NonFinite(bits) => {
+                write!(f, "non-finite float (bits {bits:#x}) has no rational value")
+            }
+            RatError::DivisionByZero => write!(f, "exact division by zero"),
+        }
+    }
+}
+
+/// An exact rational `num/den`, always normalized: `den > 0`,
+/// `gcd(|num|, den) == 1`, and zero is `0/1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rat {
+    /// The exact zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The exact one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Build `num/den`, normalizing sign and common factors.
+    pub fn new(num: i128, den: i128) -> Result<Rat, RatError> {
+        if den == 0 {
+            return Err(RatError::DivisionByZero);
+        }
+        // i128::MIN has no positive negation; it can only show up here
+        // from adversarial input, so reject it rather than widen.
+        if num == i128::MIN || den == i128::MIN {
+            return Err(RatError::Overflow);
+        }
+        let sign = if (num < 0) != (den < 0) { -1 } else { 1 };
+        let (mut n, d) = (num.abs(), den.abs());
+        let g = gcd(n, d);
+        n /= g;
+        Ok(Rat {
+            num: sign * n,
+            den: d / g,
+        })
+    }
+
+    /// An exact integer.
+    pub fn int(n: i64) -> Rat {
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// Exact conversion from a finite f64: every finite double is a
+    /// dyadic rational `±mant·2^(exp)`. Fails with `Overflow` when the
+    /// exponent pushes numerator or denominator past i128 (|exp| ≳ 74),
+    /// and `NonFinite` for NaN/∞.
+    pub fn from_f64(x: f64) -> Result<Rat, RatError> {
+        if !x.is_finite() {
+            return Err(RatError::NonFinite(x.to_bits()));
+        }
+        if x == 0.0 {
+            return Ok(Rat::ZERO);
+        }
+        let bits = x.to_bits();
+        let sign: i128 = if bits >> 63 == 1 { -1 } else { 1 };
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = (bits & ((1u64 << 52) - 1)) as i128;
+        // value = sign · mant · 2^shift
+        let (mant, shift): (i128, i64) = if biased == 0 {
+            (frac, -1074) // subnormal
+        } else {
+            (frac | (1 << 52), biased - 1075)
+        };
+        if shift >= 0 {
+            if shift >= 74 {
+                return Err(RatError::Overflow);
+            }
+            let num = mant.checked_shl(shift as u32).ok_or(RatError::Overflow)?;
+            Rat::new(sign * num, 1)
+        } else {
+            let down = (-shift) as u32;
+            // Strip factors of two from the mantissa first so e.g.
+            // 0.5 = (1<<52)·2^-53 normalizes without a huge denominator.
+            let tz = mant.trailing_zeros().min(down);
+            let mant = mant >> tz;
+            let down = down - tz;
+            if down >= 127 {
+                return Err(RatError::Overflow);
+            }
+            Rat::new(sign * mant, 1i128 << down)
+        }
+    }
+
+    /// Numerator (normalized; carries the sign).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (normalized; always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff exactly an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Checked addition.
+    pub fn add(&self, rhs: &Rat) -> Result<Rat, RatError> {
+        let g = gcd(self.den, rhs.den);
+        let (da, db) = (self.den / g, rhs.den / g);
+        let lhs = self.num.checked_mul(db).ok_or(RatError::Overflow)?;
+        let rhsn = rhs.num.checked_mul(da).ok_or(RatError::Overflow)?;
+        let num = lhs.checked_add(rhsn).ok_or(RatError::Overflow)?;
+        let den = da.checked_mul(rhs.den).ok_or(RatError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, rhs: &Rat) -> Result<Rat, RatError> {
+        self.add(&rhs.neg())
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, rhs: &Rat) -> Result<Rat, RatError> {
+        // Cross-reduce before multiplying to keep intermediates small:
+        // (a/b)·(c/d) with g1=gcd(a,d), g2=gcd(c,b).
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or(RatError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or(RatError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn div(&self, rhs: &Rat) -> Result<Rat, RatError> {
+        if rhs.is_zero() {
+            return Err(RatError::DivisionByZero);
+        }
+        self.mul(
+            &Rat {
+                num: rhs.den,
+                den: rhs.num,
+            }
+            .normalized_sign(),
+        )
+    }
+
+    /// Exact negation (never overflows: num is never i128::MIN).
+    pub fn neg(&self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    fn normalized_sign(self) -> Rat {
+        if self.den < 0 {
+            Rat {
+                num: -self.num,
+                den: -self.den,
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Lossy conversion back to f64 (for reporting only — certification
+    /// never rounds).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Compare via i256-free widening: num·den' vs num'·den can
+        // overflow i128, so fall back to exact f64-free comparison by
+        // subtracting — overflow here is practically unreachable for
+        // comparison operands but keep a graceful total order anyway.
+        match self.sub(other) {
+            Ok(d) => d.num.cmp(&0),
+            Err(_) => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Sum an iterator of rationals exactly.
+pub fn rat_sum<'a>(iter: impl IntoIterator<Item = &'a Rat>) -> Result<Rat, RatError> {
+    let mut acc = Rat::ZERO;
+    for r in iter {
+        acc = acc.add(r)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4).unwrap(), Rat::new(1, 2).unwrap());
+        assert_eq!(Rat::new(-2, -4).unwrap(), Rat::new(1, 2).unwrap());
+        assert_eq!(Rat::new(2, -4).unwrap(), Rat::new(-1, 2).unwrap());
+        assert_eq!(Rat::new(0, -7).unwrap(), Rat::ZERO);
+        assert!(Rat::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 6).unwrap();
+        assert_eq!(a.add(&b).unwrap(), Rat::new(1, 2).unwrap());
+        assert_eq!(a.sub(&b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.mul(&b).unwrap(), Rat::new(1, 18).unwrap());
+        assert_eq!(a.div(&b).unwrap(), Rat::int(2));
+        assert_eq!(a.neg().add(&a).unwrap(), Rat::ZERO);
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        for (x, n, d) in [
+            (1.0, 1, 1),
+            (-1.0, -1, 1),
+            (0.5, 1, 2),
+            (-0.25, -1, 4),
+            (0.125, 1, 8),
+            (3.0, 3, 1),
+            (-8.0, -8, 1),
+            (0.0, 0, 1),
+        ] {
+            let r = Rat::from_f64(x).unwrap();
+            assert_eq!((r.numer(), r.denom()), (n, d), "for {x}");
+        }
+    }
+
+    #[test]
+    fn from_f64_round_trips_every_finite_double_bit_pattern_class() {
+        for x in [1.0 / 3.0, 0.1, 1e17, -7.25e-9] {
+            let r = Rat::from_f64(x).unwrap();
+            assert_eq!(r.to_f64(), x, "for {x}");
+        }
+        assert!(Rat::from_f64(f64::NAN).is_err());
+        assert!(Rat::from_f64(f64::INFINITY).is_err());
+        // Exponents past i128 range (huge or subnormal) are a clean
+        // Overflow, never a wrong value.
+        assert!(matches!(Rat::from_f64(1e300), Err(RatError::Overflow)));
+        assert!(matches!(
+            Rat::from_f64(f64::MIN_POSITIVE),
+            Err(RatError::Overflow)
+        ));
+        assert!(matches!(Rat::from_f64(5e-324), Err(RatError::Overflow)));
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        // i128::MAX/2 is already odd and coprime to 2, so no
+        // cross-reduction can rescue these.
+        let big = Rat::new(i128::MAX, 2).unwrap();
+        assert_eq!(big.mul(&Rat::int(3)), Err(RatError::Overflow));
+        assert_eq!(big.add(&big), Err(RatError::Overflow));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 2).unwrap();
+        assert!(a < b);
+        assert_eq!(format!("{}", Rat::new(-3, 6).unwrap()), "-1/2");
+        assert_eq!(format!("{}", Rat::int(4)), "4");
+    }
+}

@@ -1,0 +1,105 @@
+//! Mutation testing for the exact certifier: every single-site
+//! corruption of a known-good scheme must be rejected.
+//!
+//! The certifier's value is that it cannot be fooled — a sign flip, a
+//! perturbed coefficient, or a dropped rank-one term each violates some
+//! Brent equation, and `certify()` must find it. (The catalog-wide
+//! sweep over every shipped scheme lives in `crates/algo/tests`, which
+//! can see the catalog; this suite drills the certifier itself.)
+
+use fmm_matrix::Matrix;
+use fmm_tensor::Decomposition;
+use fmm_verify::{certify_exact, Certify, CertifyError};
+use proptest::prelude::*;
+
+fn strassen() -> Decomposition {
+    let u = Matrix::from_rows(&[
+        &[1., 0., 1., 0., 1., -1., 0.],
+        &[0., 0., 0., 0., 1., 0., 1.],
+        &[0., 1., 0., 0., 0., 1., 0.],
+        &[1., 1., 0., 1., 0., 0., -1.],
+    ]);
+    let v = Matrix::from_rows(&[
+        &[1., 1., 0., -1., 0., 1., 0.],
+        &[0., 0., 1., 0., 0., 1., 0.],
+        &[0., 0., 0., 1., 0., 0., 1.],
+        &[1., 0., -1., 0., 1., 0., 1.],
+    ]);
+    let w = Matrix::from_rows(&[
+        &[1., 0., 0., 1., -1., 0., 1.],
+        &[0., 0., 1., 0., 1., 0., 0.],
+        &[0., 1., 0., 1., 0., 0., 0.],
+        &[1., -1., 1., 0., 0., 1., 0.],
+    ]);
+    Decomposition::new(2, 2, 2, u, v, w)
+}
+
+/// Apply a mutation to one factor picked by `which`.
+fn factor_mut(dec: &mut Decomposition, which: usize) -> &mut Matrix {
+    match which % 3 {
+        0 => &mut dec.u,
+        1 => &mut dec.v,
+        _ => &mut dec.w,
+    }
+}
+
+/// Drop rank-term column `r`: zero it in U (kills the whole product).
+fn drop_column(dec: &mut Decomposition, r: usize) {
+    for row in 0..dec.u.rows() {
+        dec.u[(row, r)] = 0.0;
+    }
+}
+
+#[test]
+fn pristine_strassen_certifies() {
+    strassen().certify().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sign_flip_is_rejected(which in 0usize..3, row in 0usize..4, col in 0usize..7) {
+        let mut dec = strassen();
+        let f = factor_mut(&mut dec, which);
+        if f[(row, col)] == 0.0 {
+            // Flipping a structural zero is a no-op; flip to −1 instead
+            // so the mutant is always distinct from the original.
+            f[(row, col)] = -1.0;
+        } else {
+            f[(row, col)] = -f[(row, col)];
+        }
+        prop_assert!(matches!(
+            certify_exact(&dec),
+            Err(CertifyError::BrentViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn coefficient_perturbation_is_rejected(
+        which in 0usize..3,
+        row in 0usize..4,
+        col in 0usize..7,
+        delta in 0.0f64..1.0,
+    ) {
+        let mut dec = strassen();
+        // Any exactly-representable nonzero offset must be caught —
+        // including ones far below the float path's tolerance.
+        let delta = (delta + 1e-3) * 2.0f64.powi(-20);
+        factor_mut(&mut dec, which)[(row, col)] += delta;
+        prop_assert!(matches!(
+            certify_exact(&dec),
+            Err(CertifyError::BrentViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_rank_term_is_rejected(r in 0usize..7) {
+        let mut dec = strassen();
+        drop_column(&mut dec, r);
+        prop_assert!(matches!(
+            certify_exact(&dec),
+            Err(CertifyError::BrentViolation { .. })
+        ));
+    }
+}

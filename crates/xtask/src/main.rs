@@ -1,0 +1,429 @@
+//! Workspace maintenance gate: `cargo run -p xtask -- <command>`.
+//!
+//! Commands:
+//!
+//! * `lint` — static repository checks, wired into CI as a blocking
+//!   gate:
+//!   * every `unsafe` block or impl carries a `// SAFETY:` comment on
+//!     the same line or within the five preceding lines;
+//!   * `unsafe` code only appears in the audited allowlist (the
+//!     work-stealing deque/job/registry and the strided matrix views) —
+//!     new unsafe anywhere else fails the build until it is reviewed
+//!     and allowlisted here;
+//!   * every shipped `.alg` coefficient file is internally consistent:
+//!     header dims match the filename, exact files pass exact ℚ
+//!     certification, APA files declare a residual that matches the
+//!     recomputed Brent residual;
+//!   * the vendored `rayon` facade re-exports exactly the pinned API
+//!     surface (so the documented "swap in real rayon" path cannot
+//!     silently drift).
+//! * `certify` — run exact ℚ certification over every exact scheme the
+//!   catalog can produce, the APA acceptance checks, and the ℚ\[ε\]
+//!   border-rank certification of the Schönhage τ construction.
+//!
+//! Exit status is non-zero when any check fails; every failure is
+//! reported, not just the first.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fmm_verify::Certify;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    let result = match cmd {
+        Some("lint") => lint(),
+        Some("certify") => certify(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint|certify>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            eprintln!("xtask {}: {} failure(s)", cmd.unwrap(), failures.len());
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root (the directory holding the top-level `Cargo.toml`),
+/// derived from this crate's own manifest dir so the tool runs from
+/// anywhere.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+// ---------------------------------------------------------------------
+// lint
+// ---------------------------------------------------------------------
+
+/// Source files allowed to contain `unsafe` code. Everything here has
+/// been audited and carries `// SAFETY:` comments (which the lint also
+/// enforces); any other file containing `unsafe` fails the gate.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/runtime/src/deque.rs",
+    "crates/runtime/src/job.rs",
+    "crates/runtime/src/registry.rs",
+    "crates/matrix/src/view.rs",
+];
+
+/// Items the vendored `rayon` facade must re-export from
+/// `fmm_runtime` — the exact rayon-1.x-compatible surface the
+/// workspace is written against. Changing this surface is a deliberate
+/// act: update the facade, this pin, and the swap-compatibility note
+/// in `vendor/rayon/src/lib.rs` together.
+const RAYON_FACADE_EXPORTS: &[&str] = &[
+    "current_num_threads",
+    "join",
+    "scope",
+    "spawn",
+    "Scope",
+    "ThreadPool",
+    "ThreadPoolBuildError",
+    "ThreadPoolBuilder",
+];
+
+fn lint() -> Result<String, Vec<String>> {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    let mut summary = String::new();
+
+    let sources = collect_rust_sources(&root);
+    let (checked, annotated) = audit_kw_sites(&root, &sources, &mut failures);
+    let kw = ["un", "safe"].concat();
+    let _ = writeln!(
+        summary,
+        "{kw} audit: {checked} source files scanned, {annotated} {kw} sites annotated"
+    );
+
+    let n_alg = lint_alg_data(&root, &mut failures);
+    let _ = writeln!(summary, "alg data: {n_alg} coefficient files validated");
+
+    lint_rayon_facade(&root, &mut failures);
+    let _ = writeln!(
+        summary,
+        "vendor facade: rayon re-exports match the pinned surface"
+    );
+
+    if failures.is_empty() {
+        let _ = write!(summary, "lint: OK");
+        Ok(summary)
+    } else {
+        Err(failures)
+    }
+}
+
+/// All `.rs` files under the workspace (skipping build output and VCS
+/// internals), as root-relative paths.
+fn collect_rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path.strip_prefix(root).expect("under root").to_path_buf());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// True for lines that are entirely a comment (`//`, `///`, `//!`).
+fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Enforce the unsafe allowlist and the `// SAFETY:` comment rule.
+/// Returns (files scanned, annotated unsafe sites found).
+fn audit_kw_sites(root: &Path, sources: &[PathBuf], failures: &mut Vec<String>) -> (usize, usize) {
+    // Build the needles at runtime so this file never trips its own
+    // token scan.
+    let kw = ["un", "safe"].concat();
+    let kw_fn = format!("{kw} fn");
+    let marker = ["SAFE", "TY:"].concat();
+
+    let mut annotated = 0usize;
+    for rel in sources {
+        let text = match std::fs::read_to_string(root.join(rel)) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("{}: unreadable: {e}", rel.display()));
+                continue;
+            }
+        };
+        let allowlisted = UNSAFE_ALLOWLIST.iter().any(|a| Path::new(a) == rel);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut file_has_kw = false;
+        for (i, line) in lines.iter().enumerate() {
+            if is_comment_line(line) || !line.contains(&kw) {
+                continue;
+            }
+            file_has_kw = true;
+            // Declarations and fn-pointer types carry their contract in
+            // `# Safety` docs; the comment rule targets blocks & impls.
+            if line.contains(&kw_fn) {
+                continue;
+            }
+            let covered = line.contains(&marker)
+                || lines[i.saturating_sub(5)..i]
+                    .iter()
+                    .any(|prev| is_comment_line(prev) && prev.contains(&marker));
+            if covered {
+                annotated += 1;
+            } else {
+                failures.push(format!(
+                    "{}:{}: {kw} without a `// {marker}` comment on the same or \
+                     one of the 5 preceding lines",
+                    rel.display(),
+                    i + 1,
+                ));
+            }
+        }
+        if file_has_kw && !allowlisted {
+            failures.push(format!(
+                "{}: contains {kw} code but is not in the xtask allowlist \
+                 (audit it, annotate it, and add it to UNSAFE_ALLOWLIST)",
+                rel.display(),
+            ));
+        }
+    }
+    (sources.len(), annotated)
+}
+
+/// Validate every shipped `.alg` coefficient file: parseable, filename
+/// consistent with the header, exact files exactly certified, APA files
+/// carrying an accurate machine-checked residual in their header.
+fn lint_alg_data(root: &Path, failures: &mut Vec<String>) -> usize {
+    let data_dir = root.join("crates/algo/data");
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&data_dir) {
+        Ok(rd) => rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "alg"))
+            .collect(),
+        Err(e) => {
+            failures.push(format!("{}: unreadable: {e}", data_dir.display()));
+            return 0;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        failures.push(format!("{}: no .alg files found", data_dir.display()));
+    }
+    for path in &paths {
+        let name = path
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let label = format!("crates/algo/data/{name}.alg");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("{label}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let dec = match fmm_algo::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                failures.push(format!("{label}: parse error: {e}"));
+                continue;
+            }
+        };
+        // Filename tokens: a 3-digit token pins ⟨m,k,n⟩; for APA files
+        // the trailing token pins the rank.
+        let tokens: Vec<&str> = name.split('_').collect();
+        if let Some(dims) = tokens
+            .iter()
+            .find(|t| t.len() == 3 && t.chars().all(|c| c.is_ascii_digit()))
+        {
+            let d: Vec<usize> = dims.chars().map(|c| c as usize - '0' as usize).collect();
+            if dec.base() != (d[0], d[1], d[2]) {
+                failures.push(format!(
+                    "{label}: filename says <{},{},{}> but header says {:?}",
+                    d[0],
+                    d[1],
+                    d[2],
+                    dec.base()
+                ));
+            }
+        } else {
+            failures.push(format!(
+                "{label}: filename lacks a 3-digit <mkn> dims token"
+            ));
+        }
+        if name.starts_with("apa_") {
+            if let Some(rank_tok) = tokens.last().and_then(|t| t.parse::<usize>().ok()) {
+                if dec.rank() != rank_tok {
+                    failures.push(format!(
+                        "{label}: filename says rank {rank_tok} but file has rank {}",
+                        dec.rank()
+                    ));
+                }
+            }
+            let Some(declared) = fmm_algo::declared_residual(&text) else {
+                failures.push(format!(
+                    "{label}: APA file must declare `residual <value>` in its header comment"
+                ));
+                continue;
+            };
+            if let Err(e) = fmm_verify::check_apa_fit(&dec, declared) {
+                failures.push(format!("{label}: {e}"));
+            }
+        } else if let Err(e) = dec.certify() {
+            failures.push(format!("{label}: exact certification failed: {e}"));
+        }
+    }
+    paths.len()
+}
+
+/// Parse the facade's `pub use fmm_runtime::{...}` list and compare it
+/// against the pinned rayon-compatible surface.
+fn lint_rayon_facade(root: &Path, failures: &mut Vec<String>) {
+    let path = root.join("vendor/rayon/src/lib.rs");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            failures.push(format!("vendor/rayon/src/lib.rs: unreadable: {e}"));
+            return;
+        }
+    };
+    let Some(start) = text.find("pub use fmm_runtime::{") else {
+        failures.push(
+            "vendor/rayon/src/lib.rs: missing `pub use fmm_runtime::{...}` re-export".to_string(),
+        );
+        return;
+    };
+    let after = &text[start + "pub use fmm_runtime::{".len()..];
+    let Some(end) = after.find('}') else {
+        failures.push("vendor/rayon/src/lib.rs: unterminated re-export list".to_string());
+        return;
+    };
+    let mut exported: Vec<&str> = after[..end]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    exported.sort_unstable();
+    let mut expected: Vec<&str> = RAYON_FACADE_EXPORTS.to_vec();
+    expected.sort_unstable();
+    if exported != expected {
+        failures.push(format!(
+            "vendor/rayon facade drift: re-exports {exported:?} but the pinned \
+             rayon-compatible surface is {expected:?}"
+        ));
+    }
+    if !text.contains("pub mod prelude;") {
+        failures.push("vendor/rayon/src/lib.rs: missing `pub mod prelude;`".to_string());
+    }
+}
+
+// ---------------------------------------------------------------------
+// certify
+// ---------------------------------------------------------------------
+
+/// Exact ℚ certification over everything the catalog ships, APA
+/// acceptance checks, and a ℚ\[ε\] border-rank certification exercising
+/// the degeneration machinery.
+fn certify() -> Result<String, Vec<String>> {
+    let mut failures = Vec::new();
+    let mut summary = String::new();
+
+    // Exact schemes: the hand-coded/derived catalog, the §5.2 composed
+    // schedule, and every exact embedded coefficient file.
+    let mut exact: Vec<(String, fmm_tensor::Decomposition)> = fmm_algo::catalog()
+        .into_iter()
+        .map(|a| (a.name.clone(), a.dec))
+        .collect();
+    for (i, dec) in fmm_algo::schedule_54().into_iter().enumerate() {
+        exact.push((format!("schedule_54[{i}]"), dec));
+    }
+    for (name, text) in fmm_algo::embedded_files() {
+        if !name.starts_with("apa_") {
+            match fmm_algo::parse(text) {
+                Ok(dec) => exact.push(((*name).to_string(), dec)),
+                Err(e) => failures.push(format!("{name}: parse error: {e}")),
+            }
+        }
+    }
+    let mut equations = 0usize;
+    for (name, dec) in &exact {
+        match dec.certify() {
+            Ok(cert) => equations += cert.equations,
+            Err(e) => failures.push(format!("{name}: exact certification failed: {e}")),
+        }
+    }
+    let _ = writeln!(
+        summary,
+        "exact: {} schemes certified in Q ({} Brent equations proved identically)",
+        exact.len(),
+        equations
+    );
+
+    // APA entries: principled acceptance (rank deficit + unambiguous
+    // rounding + header agreement).
+    for label in ["bini", "schonhage"] {
+        match fmm_algo::by_name(label) {
+            Some(alg) => {
+                let fmm_algo::Provenance::Apa(residual) = alg.provenance else {
+                    failures.push(format!("{label}: expected APA provenance"));
+                    continue;
+                };
+                let _ = writeln!(
+                    summary,
+                    "apa: {label} rank {} < classical {} (residual {residual:.3e})",
+                    alg.dec.rank(),
+                    alg.dec.classical_rank()
+                );
+            }
+            None => failures.push(format!("{label}: failed APA acceptance checks")),
+        }
+    }
+
+    // Border-rank certification: Schönhage's τ-theorem construction,
+    // certified term-by-term in Q[eps].
+    for (k, n) in [(2usize, 2usize), (3, 3)] {
+        let scheme = fmm_verify::schonhage_tau_scheme(k, n);
+        let target = fmm_verify::schonhage_tau_target(k, n);
+        match fmm_verify::certify_border(&scheme, &target, Some(2)) {
+            Ok(cert) => {
+                let _ = writeln!(summary, "border: tau({k},{n}) {cert}");
+            }
+            Err(e) => failures.push(format!("tau({k},{n}): border certification failed: {e}")),
+        }
+    }
+
+    if failures.is_empty() {
+        let _ = write!(summary, "certify: OK");
+        Ok(summary)
+    } else {
+        Err(failures)
+    }
+}

@@ -103,8 +103,9 @@ pub use fmm_gemm as gemm;
 pub use fmm_matrix as matrix;
 pub use fmm_search as search;
 pub use fmm_tensor as tensor;
+pub use fmm_verify as verify;
 
 pub use fmm_core::{
     EngineBuilder, EngineError, EngineStats, FastMul, FmmEngine, GemmProfile, MultiplyHandle,
-    Options, Plan, PlanError, Planner, Workspace,
+    Options, Plan, PlanCertificate, PlanError, Planner, Workspace,
 };

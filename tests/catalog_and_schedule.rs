@@ -104,8 +104,10 @@ fn apa_entries_if_present_have_small_residual_and_run() {
             algo::Provenance::Apa(r) => r,
             ref other => panic!("APA entry has provenance {other:?}"),
         };
+        // Below 1/2, the 0/1 matmul tensor is the unique nearest
+        // integer tensor — the acceptance bound check_apa_fit enforces.
         assert!(
-            residual < 0.3,
+            residual < fast_matmul::verify::UNIQUE_ROUNDING_BOUND,
             "{}: residual {residual} too large",
             apa.name
         );
