@@ -1,0 +1,322 @@
+//! Fleet load generator: the serving-tier counterpart of `throughput`.
+//!
+//! Spawns an in-process router over N shard *processes* (re-execs of
+//! this binary), drives the same mixed-shape request stream the
+//! `throughput` binary uses — same shapes, same seeds, same shared
+//! measurement loop — through `ServeClient` connections, and reports
+//! fleet-wide multiplies/sec and p50/p99 latency next to the
+//! single-process engine baseline measured in the same run.
+//!
+//! Every fleet-served product is compared bitwise against the local
+//! engine's result, so a run that completes is also a correctness
+//! certificate for the wire path. The router's aggregated
+//! [`FleetStats`] JSON snapshot is printed at the end (or written via
+//! `--stats-json`), including the consistency check that the engines'
+//! multiply counters reconstruct exactly the client-observed
+//! completions.
+//!
+//! ```text
+//! loadgen [--quick|--full] [--threads 1,4] [--shards 2]
+//!         [--max-inflight Q] [--dtype f32|f64] [--json PATH]
+//!         [--stats-json PATH]
+//! ```
+//!
+//! On a 1-core CI box the fleet cannot beat the single process — the
+//! comparison there is about verifying the serving path, not about
+//! speedup; see EXPERIMENTS.md.
+
+use fmm_bench::{
+    dtype_tag, run_mixed_stream, workload_in, Dtype, HarnessConfig, Measurement, StreamOutcome,
+};
+use fmm_core::FmmEngine;
+use fmm_matrix::DenseMatrix;
+use fmm_serve::{
+    maybe_run_shard_worker, start_router, FleetStats, RouterConfig, ServeClient, ShardLauncher,
+    ShardSpec, WireScalar,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct LoadgenConfig {
+    harness: HarnessConfig,
+    shards: usize,
+    max_inflight: usize,
+    stats_json: Option<String>,
+}
+
+fn parse_args() -> LoadgenConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = LoadgenConfig {
+        harness: HarnessConfig {
+            quick: true,
+            trials: 1,
+            thread_counts: vec![1, 4],
+            json_out: None,
+            dtype: Dtype::F64,
+        },
+        shards: 2,
+        max_inflight: 8,
+        stats_json: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg.harness.quick = true,
+            "--full" => cfg.harness.quick = false,
+            "--threads" => {
+                i += 1;
+                cfg.harness.thread_counts = args[i]
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads 1,4"))
+                    .collect();
+            }
+            "--shards" => {
+                i += 1;
+                cfg.shards = args[i].parse().expect("--shards N");
+                assert!(cfg.shards >= 1, "--shards must be >= 1");
+            }
+            "--max-inflight" => {
+                i += 1;
+                cfg.max_inflight = args[i].parse().expect("--max-inflight Q");
+            }
+            "--json" => {
+                i += 1;
+                cfg.harness.json_out = Some(args[i].clone());
+            }
+            "--stats-json" => {
+                i += 1;
+                cfg.stats_json = Some(args[i].clone());
+            }
+            "--dtype" => {
+                i += 1;
+                cfg.harness.dtype = match args[i].as_str() {
+                    "f64" => Dtype::F64,
+                    "f32" => Dtype::F32,
+                    other => panic!("--dtype must be f32 or f64, got {other}"),
+                };
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+fn main() {
+    // The fleet re-execs this binary as its shard workers.
+    maybe_run_shard_worker();
+    let cfg = parse_args();
+    match cfg.harness.dtype {
+        Dtype::F64 => run::<f64>(&cfg),
+        Dtype::F32 => run::<f32>(&cfg),
+    }
+}
+
+/// Unique-enough socket directory for this run (no Date/rand needed:
+/// the pid already distinguishes concurrent runs).
+fn socket_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fmm-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create socket dir");
+    dir
+}
+
+fn run<T: WireScalar>(cfg: &LoadgenConfig) {
+    let shapes: &[(usize, usize, usize)] = if cfg.harness.quick {
+        &[(96, 96, 96), (64, 128, 64), (128, 64, 32), (100, 100, 100)]
+    } else {
+        &[
+            (256, 256, 256),
+            (192, 384, 192),
+            (384, 192, 96),
+            (300, 300, 300),
+        ]
+    };
+    let requests_per_client = if cfg.harness.quick { 24 } else { 64 };
+
+    let problems: Vec<(DenseMatrix<T>, DenseMatrix<T>)> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q, r))| workload_in::<T>(p, q, r, 42 + i as u64))
+        .collect();
+
+    // The local engine is both the baseline tier and the bitwise
+    // reference for every fleet-served product (engine results are
+    // deterministic across pool widths and processes).
+    let engine = FmmEngine::<T>::builder().build().expect("baseline engine");
+    let expected: Vec<DenseMatrix<T>> = problems
+        .iter()
+        .map(|(a, b)| engine.multiply(a, b).expect("reference multiply"))
+        .collect();
+
+    // Bring the fleet up: N shard processes + an in-process router.
+    let dir = socket_dir();
+    let specs = (0..cfg.shards)
+        .map(|i| ShardSpec {
+            socket: dir.join(format!("shard-{i}.sock")),
+            threads: 1,
+            max_inflight: cfg.max_inflight,
+        })
+        .collect();
+    let router_cfg = RouterConfig::new(dir.join("router.sock"), ShardLauncher::SelfExec, specs);
+    let router = start_router(router_cfg).expect("start fleet");
+    eprintln!(
+        "fleet up: {} shard process(es), router on {}",
+        cfg.shards,
+        router.socket().display()
+    );
+
+    println!("tier,dtype,clients,requests,failures,total_s,mps,p50_ms,p99_ms");
+    let mut rows: Vec<Measurement> = Vec::new();
+    let mismatches = AtomicU64::new(0);
+
+    for &clients in &cfg.harness.thread_counts {
+        let clients = clients.max(1);
+
+        // Tier 1: the single-process engine, same stream.
+        let baseline = run_mixed_stream(clients, requests_per_client, problems.len(), |_| {
+            let engine = engine.clone();
+            let problems = &problems;
+            move |idx: usize| {
+                let (a, b) = &problems[idx];
+                engine.multiply(a, b).expect("baseline serve");
+                true
+            }
+        });
+        report::<T>("engine", clients, &baseline);
+        push_rows(
+            &mut rows,
+            &format!("engine{}(x{})", dtype_tag::<T>(), engine.threads()),
+            shapes,
+            clients,
+            &baseline,
+        );
+
+        // Tier 2: the fleet, one ServeClient connection per client
+        // thread, every product checked bitwise against the reference.
+        let fleet = run_mixed_stream(clients, requests_per_client, problems.len(), |_| {
+            let mut client = ServeClient::connect(router.socket()).expect("connect to router");
+            let problems = &problems;
+            let expected = &expected;
+            let mismatches = &mismatches;
+            move |idx: usize| {
+                let (a, b) = &problems[idx];
+                match client.multiply(a, b) {
+                    Ok(c) => {
+                        if c != expected[idx] {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("fleet multiply failed: {e}");
+                        false
+                    }
+                }
+            }
+        });
+        report::<T>(&format!("fleet(shards={})", cfg.shards), clients, &fleet);
+        push_rows(
+            &mut rows,
+            &format!("fleet(shards={}){}", cfg.shards, dtype_tag::<T>()),
+            shapes,
+            clients,
+            &fleet,
+        );
+    }
+
+    // Fleet-wide observability snapshot + the consistency invariant:
+    // engine counters (plus router-reconstructed history) must equal
+    // the completions clients observed.
+    let stats = router.fleet_stats();
+    consistency_report(&stats);
+    if let Some(path) = &cfg.stats_json {
+        std::fs::write(path, stats.to_json()).expect("write stats json");
+        eprintln!("wrote fleet snapshot to {path}");
+    } else {
+        eprintln!("fleet snapshot:\n{}", stats.to_json());
+    }
+
+    let mismatch_count = mismatches.load(Ordering::Relaxed);
+    assert_eq!(
+        mismatch_count, 0,
+        "{mismatch_count} fleet-served products differed bitwise from the local engine"
+    );
+    eprintln!("all fleet-served products matched the local engine bitwise");
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(path) = &cfg.harness.json_out {
+        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn report<T: WireScalar>(tier: &str, clients: usize, outcome: &StreamOutcome) {
+    let stats = outcome.latency();
+    println!(
+        "{tier},{},{clients},{},{},{:.3},{:.1},{:.3},{:.3}",
+        T::NAME,
+        stats.count,
+        outcome.failures,
+        outcome.total_s,
+        outcome.mps(),
+        stats.p50_s * 1e3,
+        stats.p99_s * 1e3
+    );
+}
+
+fn push_rows(
+    rows: &mut Vec<Measurement>,
+    algorithm: &str,
+    shapes: &[(usize, usize, usize)],
+    clients: usize,
+    outcome: &StreamOutcome,
+) {
+    for (idx, &(p, q, r)) in shapes.iter().enumerate() {
+        let Some(mean) = outcome.shape_mean(idx) else {
+            continue;
+        };
+        rows.push(Measurement {
+            experiment: "loadgen".into(),
+            algorithm: algorithm.to_string(),
+            p,
+            q,
+            r,
+            threads: clients,
+            steps: 0,
+            seconds: mean,
+            effective_gflops: fmm_gemm::effective_gflops(p, q, r, mean),
+        });
+    }
+}
+
+fn consistency_report(stats: &FleetStats) {
+    let shard_side = stats.shard_multiplies();
+    let router_side = stats.router.completions;
+    eprintln!(
+        "consistency: shard-side multiplies {} vs router completions {} — {}",
+        shard_side,
+        router_side,
+        if shard_side == router_side {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+    for slot in &stats.slots {
+        eprintln!(
+            "  shard {}: healthy={} respawns={} ok_total={} engine_multiplies={}",
+            slot.slot,
+            slot.healthy,
+            slot.respawns,
+            slot.ok_total,
+            slot.report
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |r| r.engine_multiplies().to_string())
+        );
+    }
+}

@@ -60,9 +60,17 @@ fn main() {
         "experiment", "problem", "", "winner", "GFLOPS", "vs classical"
     );
     for ((exp, _dtype, p, q, r, threads), algs) in groups {
+        // The serving-tier experiment has no classical row: its
+        // baseline is the single-process engine the fleet competes
+        // against.
+        let baseline_prefix = if exp == "loadgen" {
+            "engine"
+        } else {
+            "classical"
+        };
         let classical = algs
             .iter()
-            .find(|(name, _)| name.starts_with("classical"))
+            .find(|(name, _)| name.starts_with(baseline_prefix))
             .map(|&(_, g)| g);
         let (best_name, best_g) = algs
             .iter()

@@ -19,13 +19,6 @@ use fmm_core::{FmmEngine, GemmScalar};
 use fmm_matrix::DenseMatrix;
 use std::time::Instant;
 
-/// `(p50, p99)` of a latency sample, in seconds.
-fn percentiles(latencies: &mut [f64]) -> (f64, f64) {
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pick = |q: f64| latencies[((latencies.len() as f64 * q) as usize).min(latencies.len() - 1)];
-    (pick(0.50), pick(0.99))
-}
-
 fn main() {
     let cfg = HarnessConfig::from_args();
     match cfg.dtype {
@@ -64,58 +57,35 @@ fn run<T: GemmScalar>(cfg: &HarnessConfig) {
     let mut rows: Vec<Measurement> = Vec::new();
     for &clients in &cfg.thread_counts {
         let clients = clients.max(1);
-        let t0 = Instant::now();
-        // (shape index, seconds) per request, gathered across clients.
-        let samples: Vec<(usize, f64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..clients)
-                .map(|client| {
-                    let engine = engine.clone();
-                    let problems = &problems;
-                    scope.spawn(move || {
-                        let mut local = Vec::with_capacity(requests_per_client);
-                        for req in 0..requests_per_client {
-                            // Stagger clients across shapes so the
-                            // stream stays mixed at every instant.
-                            let idx = (client + req) % problems.len();
-                            let (a, b) = &problems[idx];
-                            let t = Instant::now();
-                            let c = engine.multiply(a, b).expect("serve");
-                            std::hint::black_box(&c);
-                            local.push((idx, t.elapsed().as_secs_f64()));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("client thread"))
-                .collect()
+        // The shared serving-stream loop: clients staggered across the
+        // shape mix, each request timed individually.
+        let outcome = run_mixed_stream(clients, requests_per_client, problems.len(), |_client| {
+            let engine = engine.clone();
+            let problems = &problems;
+            move |idx: usize| {
+                let (a, b) = &problems[idx];
+                let c = engine.multiply(a, b).expect("serve");
+                std::hint::black_box(&c);
+                true
+            }
         });
-        let total = t0.elapsed().as_secs_f64();
-        let mut latencies: Vec<f64> = samples.iter().map(|&(_, s)| s).collect();
-        let (p50, p99) = percentiles(&mut latencies);
-        let mps = samples.len() as f64 / total;
+        let stats = outcome.latency();
         println!(
-            "{},{clients},{},{},{total:.3},{mps:.1},{:.3},{:.3}",
+            "{},{clients},{},{},{:.3},{:.1},{:.3},{:.3}",
             T::NAME,
             engine.threads(),
-            samples.len(),
-            p50 * 1e3,
-            p99 * 1e3
+            stats.count,
+            outcome.total_s,
+            outcome.mps(),
+            stats.p50_s * 1e3,
+            stats.p99_s * 1e3
         );
         // One summarize-compatible row per shape: mean latency as the
         // per-request time, at this client count.
         for (idx, &(p, q, r)) in shapes.iter().enumerate() {
-            let shape_lat: Vec<f64> = samples
-                .iter()
-                .filter(|&&(i, _)| i == idx)
-                .map(|&(_, s)| s)
-                .collect();
-            if shape_lat.is_empty() {
+            let Some(mean) = outcome.shape_mean(idx) else {
                 continue;
-            }
-            let mean = shape_lat.iter().sum::<f64>() / shape_lat.len() as f64;
+            };
             rows.push(Measurement {
                 experiment: "throughput".into(),
                 algorithm: format!("engine{}(x{})", dtype_tag::<T>(), engine.threads()),

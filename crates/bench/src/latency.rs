@@ -1,0 +1,218 @@
+//! Shared stream/latency measurement for the serving harnesses.
+//!
+//! `throughput` (one in-process engine) and `loadgen` (a shard fleet
+//! behind `fmm-serve`) measure the same thing: N client threads
+//! hammering a multiply service with a mixed-shape request stream,
+//! reporting sustained multiplies/sec and p50/p99 latency. This module
+//! is the single implementation of that loop and its percentile math,
+//! so the two binaries' numbers are comparable by construction.
+
+use std::time::Instant;
+
+/// Summary statistics of one latency sample set.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Number of successful requests sampled.
+    pub count: usize,
+    /// Median request latency, seconds.
+    pub p50_s: f64,
+    /// 99th-percentile request latency, seconds.
+    pub p99_s: f64,
+    /// Mean request latency, seconds.
+    pub mean_s: f64,
+}
+
+impl LatencyStats {
+    /// Compute from raw per-request seconds (order irrelevant; the
+    /// slice is sorted in place). An empty sample yields zeros.
+    pub fn from_samples(samples: &mut [f64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats {
+                count: 0,
+                p50_s: 0.0,
+                p99_s: 0.0,
+                mean_s: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        LatencyStats {
+            count: samples.len(),
+            p50_s: percentile_sorted(samples, 0.50),
+            p99_s: percentile_sorted(samples, 0.99),
+            mean_s: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+}
+
+/// Quantile `q` of an ascending-sorted sample (the historical
+/// `throughput` rule: index `⌊len·q⌋`, clamped).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
+}
+
+/// One timed request from a mixed stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSample {
+    /// Which entry of the shape list this request multiplied.
+    pub shape_idx: usize,
+    /// Request latency, seconds.
+    pub seconds: f64,
+}
+
+/// Everything a mixed-shape stream run produced.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Per-request samples of the *successful* requests.
+    pub samples: Vec<StreamSample>,
+    /// Requests whose worker reported failure.
+    pub failures: usize,
+    /// Wall-clock seconds for the whole stream (all clients).
+    pub total_s: f64,
+}
+
+impl StreamOutcome {
+    /// Sustained successful multiplies per second.
+    pub fn mps(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.samples.len() as f64 / self.total_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency statistics across every successful request.
+    pub fn latency(&self) -> LatencyStats {
+        let mut lat: Vec<f64> = self.samples.iter().map(|s| s.seconds).collect();
+        LatencyStats::from_samples(&mut lat)
+    }
+
+    /// Mean latency of the requests that hit shape `idx` (`None` if
+    /// the stream never touched it).
+    pub fn shape_mean(&self, idx: usize) -> Option<f64> {
+        let lat: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.shape_idx == idx)
+            .map(|s| s.seconds)
+            .collect();
+        if lat.is_empty() {
+            None
+        } else {
+            Some(lat.iter().sum::<f64>() / lat.len() as f64)
+        }
+    }
+}
+
+/// Drive a mixed-shape request stream from `clients` OS threads.
+///
+/// Each client issues `requests_per_client` requests, walking the
+/// shape list staggered by client index (`(client + req) % num_shapes`)
+/// so the stream stays mixed at every instant — the same access
+/// pattern the `throughput` binary has always used. `make_worker`
+/// builds one worker per client thread (its chance to clone an engine
+/// handle or open its own connection); the worker executes one request
+/// for a shape index and reports success.
+pub fn run_mixed_stream<W, F>(
+    clients: usize,
+    requests_per_client: usize,
+    num_shapes: usize,
+    make_worker: F,
+) -> StreamOutcome
+where
+    F: Fn(usize) -> W + Sync,
+    W: FnMut(usize) -> bool,
+{
+    assert!(num_shapes > 0, "a stream needs at least one shape");
+    let clients = clients.max(1);
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<StreamSample>, usize)> = std::thread::scope(|scope| {
+        let make_worker = &make_worker;
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut worker = make_worker(client);
+                    let mut local = Vec::with_capacity(requests_per_client);
+                    let mut failures = 0usize;
+                    for req in 0..requests_per_client {
+                        let shape_idx = (client + req) % num_shapes;
+                        let t = Instant::now();
+                        if worker(shape_idx) {
+                            local.push(StreamSample {
+                                shape_idx,
+                                seconds: t.elapsed().as_secs_f64(),
+                            });
+                        } else {
+                            failures += 1;
+                        }
+                    }
+                    (local, failures)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream client thread"))
+            .collect()
+    });
+    let total_s = t0.elapsed().as_secs_f64();
+    let mut samples = Vec::with_capacity(clients * requests_per_client);
+    let mut failures = 0;
+    for (local, f) in per_client {
+        samples.extend(local);
+        failures += f;
+    }
+    StreamOutcome {
+        samples,
+        failures,
+        total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_match_historical_rule() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.50), 51.0);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 100.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.50), 7.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn latency_stats_handles_empty_and_unsorted() {
+        let empty = LatencyStats::from_samples(&mut []);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p50_s, 0.0);
+
+        let mut raw = vec![3.0, 1.0, 2.0];
+        let stats = LatencyStats::from_samples(&mut raw);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.p50_s, 2.0);
+        assert_eq!(stats.p99_s, 3.0);
+        assert!((stats.mean_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_stream_staggers_clients_and_counts_failures() {
+        let outcome = run_mixed_stream(3, 8, 4, |client| {
+            move |shape_idx: usize| {
+                // Client 2 fails every request to shape 0.
+                !(client == 2 && shape_idx == 0)
+            }
+        });
+        // 3 clients × 8 requests; client 2 hits shape 0 twice.
+        assert_eq!(outcome.samples.len() + outcome.failures, 24);
+        assert_eq!(outcome.failures, 2);
+        assert!(outcome.total_s >= 0.0);
+        assert!(outcome.mps() > 0.0);
+        // Every shape got traffic from the stagger pattern.
+        for idx in 0..4 {
+            assert!(outcome.shape_mean(idx).is_some(), "shape {idx} unserved");
+        }
+        assert_eq!(outcome.latency().count, 22);
+    }
+}

@@ -7,6 +7,10 @@
 //! one, two, or three steps of recursion"), and CSV/JSON emission so
 //! EXPERIMENTS.md can quote results directly.
 
+pub mod latency;
+
+pub use latency::{percentile_sorted, run_mixed_stream, LatencyStats, StreamOutcome, StreamSample};
+
 use fmm_core::{AdditionMethod, GemmScalar, Options, Planner, Scheme, Workspace};
 use fmm_matrix::{DenseMatrix, Matrix, Scalar};
 use fmm_tensor::Decomposition;

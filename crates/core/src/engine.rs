@@ -349,7 +349,11 @@ struct Counters {
 /// aggregating across runs (`base_gemms`, `peel_gemms`,
 /// `tasks_stolen`). All counters are monotonic since engine creation;
 /// diff two snapshots to attribute activity to a region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable ([`EngineStats::to_json`]/[`EngineStats::from_json`])
+/// so a serving process can report its counters over an RPC and a
+/// router can aggregate them fleet-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Pool width the engine executes at.
     pub threads: usize,
@@ -380,6 +384,19 @@ pub struct EngineStats {
     /// concurrent requests) can inflate each other's share; treat it as
     /// evidence of stealing, not an exact attribution.
     pub tasks_stolen: u64,
+}
+
+impl EngineStats {
+    /// Serialize as pretty-printed JSON — the form a shard reports over
+    /// the fmm-serve stats RPC.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats serialization is infallible")
+    }
+
+    /// Parse a snapshot previously produced by [`EngineStats::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
 }
 
 struct EngineInner<T> {
@@ -840,6 +857,25 @@ mod tests {
         let got = engine.multiply(&a, &b).unwrap();
         let d = max_abs_diff(&want.as_ref(), &got.as_ref()).unwrap();
         assert!(d < 1e-9, "diff {d}");
+    }
+
+    #[test]
+    fn engine_stats_json_roundtrip() {
+        let engine = FmmEngine::builder().threads(2).build().unwrap();
+        let (a, b) = random_problem(32, 32, 32, 11);
+        engine.multiply(&a, &b).unwrap();
+        engine.multiply(&a, &b).unwrap();
+        let stats = engine.stats();
+        let text = stats.to_json();
+        let back = EngineStats::from_json(&text).expect("round-trip");
+        assert_eq!(stats, back);
+        // Malformed and field-dropped inputs are rejected, not
+        // zero-filled: a router must never aggregate a half-parsed
+        // shard report.
+        assert!(EngineStats::from_json("not json").is_err());
+        assert!(EngineStats::from_json("{\"threads\": 2}").is_err());
+        let truncated = text.replace("\"multiplies\"", "\"multiplies_renamed\"");
+        assert!(EngineStats::from_json(&truncated).is_err());
     }
 
     #[test]

@@ -155,8 +155,10 @@ pub struct ExecStats {
     pub thread_mask: std::sync::atomic::AtomicU64,
 }
 
-/// Plain snapshot of [`ExecStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Plain snapshot of [`ExecStats`]. Serializable
+/// ([`ExecStatsSnapshot::to_json`]/[`ExecStatsSnapshot::from_json`])
+/// so per-run execution statistics can cross a process boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ExecStatsSnapshot {
     /// Base-case gemm calls.
     pub base_gemms: u64,
@@ -181,6 +183,19 @@ pub struct ExecStatsSnapshot {
     /// balanced load; always 0 for Sequential. Process-wide counter
     /// diff, so concurrent executions can inflate each other's count.
     pub tasks_stolen: u64,
+}
+
+impl ExecStatsSnapshot {
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parse a snapshot previously produced by
+    /// [`ExecStatsSnapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
 }
 
 impl ExecStats {
@@ -1312,5 +1327,27 @@ fn combine_outputs<T: Scalar>(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::ExecStatsSnapshot;
+
+    #[test]
+    fn exec_stats_snapshot_json_roundtrip() {
+        let snap = ExecStatsSnapshot {
+            base_gemms: 49,
+            peel_gemms: 3,
+            temp_elements: 12_345,
+            workspace_bytes: 8 * 12_345,
+            workspace_reused: true,
+            threads_used: 4,
+            tasks_stolen: 17,
+        };
+        let back = ExecStatsSnapshot::from_json(&snap.to_json()).expect("round-trip");
+        assert_eq!(snap, back);
+        assert!(ExecStatsSnapshot::from_json("[]").is_err());
+        assert!(ExecStatsSnapshot::from_json("{\"base_gemms\": 1}").is_err());
     }
 }

@@ -1,0 +1,106 @@
+//! `fmm-router`: spawn a shard fleet and route multiplies onto it.
+//!
+//! ```text
+//! fmm-router --socket /tmp/fmm.sock --shards 2 \
+//!            [--socket-dir DIR] [--threads N] [--max-inflight Q] \
+//!            [--shard-bin PATH]
+//! ```
+//!
+//! By default shards are re-execs of this binary (no extra install
+//! surface); `--shard-bin` points at an explicit `fmm-shard`
+//! executable instead. The router serves until a client sends a drain
+//! request, then drains and reaps the whole fleet.
+
+use fmm_serve::{maybe_run_shard_worker, router_main, RouterConfig, ShardLauncher, ShardSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fmm-router --socket PATH --shards N [options]\n\
+         \n\
+         --socket PATH        Unix socket the router listens on (required)\n\
+         --shards N           number of shard processes (required, >= 1)\n\
+         --socket-dir DIR     directory for shard sockets (default: alongside router socket)\n\
+         --threads N          engine pool width per shard (default 1)\n\
+         --max-inflight Q     per-shard admission bound (default 8)\n\
+         --shard-bin PATH     spawn PATH instead of re-execing this binary"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    // If the fleet re-exec'd us as a shard worker, serve and exit.
+    maybe_run_shard_worker();
+
+    let mut socket: Option<PathBuf> = None;
+    let mut shards: usize = 0;
+    let mut socket_dir: Option<PathBuf> = None;
+    let mut threads: usize = 1;
+    let mut max_inflight: usize = 8;
+    let mut shard_bin: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--shards" => shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--socket-dir" => socket_dir = Some(PathBuf::from(value("--socket-dir"))),
+            "--threads" => threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage());
+            }
+            "--shard-bin" => shard_bin = Some(PathBuf::from(value("--shard-bin"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    if shards == 0 {
+        usage();
+    }
+
+    let dir = socket_dir.unwrap_or_else(|| {
+        socket
+            .parent()
+            .map(PathBuf::from)
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    let specs = (0..shards)
+        .map(|i| ShardSpec {
+            socket: dir.join(format!("fmm-shard-{i}.sock")),
+            threads,
+            max_inflight,
+        })
+        .collect();
+    let launcher = match shard_bin {
+        Some(path) => ShardLauncher::Binary(path),
+        None => ShardLauncher::SelfExec,
+    };
+
+    let cfg = RouterConfig::new(socket, launcher, specs);
+    eprintln!(
+        "fmm-router: {} shard(s), {} thread(s)/shard, max-inflight {} — serving on {}",
+        shards,
+        threads,
+        max_inflight,
+        cfg.socket.display()
+    );
+    match router_main(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fmm-router: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

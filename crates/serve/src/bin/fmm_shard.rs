@@ -1,0 +1,68 @@
+//! `fmm-shard`: host one serving shard (an `FmmEngine` per dtype) on
+//! a Unix-domain socket.
+//!
+//! ```text
+//! fmm-shard --socket /tmp/fmm-shard-0.sock [--threads N] [--max-inflight Q]
+//! ```
+//!
+//! The process serves until a client sends a drain request, then
+//! finishes inflight work and exits. Normally spawned by `fmm-router`
+//! (or a test harness); running it standalone gives a single-shard
+//! fleet you can point `ServeClient` at directly.
+
+use fmm_serve::{shard_main, ShardConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fmm-shard --socket PATH [--threads N] [--max-inflight Q]\n\
+         \n\
+         --socket PATH        Unix socket to serve on (required)\n\
+         --threads N          engine worker-pool width (default 1)\n\
+         --max-inflight Q     admission bound before Busy (default 8)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut threads: usize = 1;
+    let mut max_inflight: usize = 8;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--threads" => {
+                threads = value("--threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    let cfg = ShardConfig::new(socket)
+        .threads(threads)
+        .max_inflight(max_inflight);
+    match shard_main(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fmm-shard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

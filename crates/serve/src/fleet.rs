@@ -1,0 +1,242 @@
+//! Shard-process lifecycle: spawn, health-gate, SIGKILL (chaos hook),
+//! respawn, drain.
+//!
+//! The fleet does not route anything — it owns `std::process::Child`
+//! handles and socket paths. The router (see [`crate::router`]) drives it:
+//! spawn at start, respawn when a health check or a forward fails,
+//! drain at shutdown.
+
+use crate::client::ServeClient;
+use crate::shard::ShardConfig;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Marker argv\[1\] of a self-exec'd shard worker (see
+/// [`crate::maybe_run_shard_worker`]).
+pub const SHARD_WORKER_ARG: &str = "__fmm-shard-worker";
+
+/// How the fleet turns a [`ShardSpec`] into a process.
+#[derive(Debug, Clone)]
+pub enum ShardLauncher {
+    /// Re-exec the *current* binary with the hidden
+    /// [`SHARD_WORKER_ARG`] subcommand. Any binary using this must
+    /// call [`crate::maybe_run_shard_worker`] first thing in `main`.
+    SelfExec,
+    /// Spawn an explicit shard binary (the `fmm-shard` bin, or
+    /// `env!("CARGO_BIN_EXE_fmm-shard")` from tests) which accepts
+    /// `--socket/--threads/--max-inflight` flags.
+    Binary(PathBuf),
+}
+
+/// What one shard slot should look like when (re)spawned.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Socket path the shard serves on.
+    pub socket: PathBuf,
+    /// Engine pool width.
+    pub threads: usize,
+    /// Admission bound.
+    pub max_inflight: usize,
+}
+
+impl ShardSpec {
+    /// The equivalent in-process config.
+    pub fn config(&self) -> ShardConfig {
+        ShardConfig::new(&self.socket)
+            .threads(self.threads)
+            .max_inflight(self.max_inflight)
+    }
+}
+
+/// One managed shard process slot.
+struct Slot {
+    spec: ShardSpec,
+    child: Option<Child>,
+}
+
+/// A set of shard processes under one manager.
+pub struct Fleet {
+    launcher: ShardLauncher,
+    slots: Vec<Slot>,
+}
+
+impl Fleet {
+    /// Spawn one shard per spec and wait until every one answers a
+    /// health probe (or time out).
+    pub fn spawn(
+        launcher: ShardLauncher,
+        specs: Vec<ShardSpec>,
+        ready_timeout: Duration,
+    ) -> io::Result<Fleet> {
+        let mut fleet = Fleet {
+            launcher,
+            slots: specs
+                .into_iter()
+                .map(|spec| Slot { spec, child: None })
+                .collect(),
+        };
+        for i in 0..fleet.slots.len() {
+            fleet.spawn_slot(i)?;
+        }
+        for i in 0..fleet.slots.len() {
+            fleet.wait_healthy(i, ready_timeout)?;
+        }
+        Ok(fleet)
+    }
+
+    /// Number of shard slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the fleet manages no shards.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Socket path of slot `i`.
+    pub fn socket(&self, i: usize) -> &Path {
+        &self.slots[i].spec.socket
+    }
+
+    /// Launch the configured process for slot `i` (stale socket file
+    /// removed first so a health probe cannot hit a dead socket).
+    fn spawn_slot(&mut self, i: usize) -> io::Result<()> {
+        let spec = &self.slots[i].spec;
+        let _ = std::fs::remove_file(&spec.socket);
+        let mut cmd = match &self.launcher {
+            ShardLauncher::SelfExec => {
+                let exe = std::env::current_exe()?;
+                let mut cmd = Command::new(exe);
+                cmd.arg(SHARD_WORKER_ARG)
+                    .arg(&spec.socket)
+                    .arg(spec.threads.to_string())
+                    .arg(spec.max_inflight.to_string());
+                cmd
+            }
+            ShardLauncher::Binary(path) => {
+                let mut cmd = Command::new(path);
+                cmd.arg("--socket")
+                    .arg(&spec.socket)
+                    .arg("--threads")
+                    .arg(spec.threads.to_string())
+                    .arg("--max-inflight")
+                    .arg(spec.max_inflight.to_string());
+                cmd
+            }
+        };
+        // A shard inheriting the parent's stdout would interleave with
+        // harness CSV; keep stderr for diagnostics.
+        let child = cmd.stdout(Stdio::null()).spawn()?;
+        self.slots[i].child = Some(child);
+        Ok(())
+    }
+
+    /// Poll slot `i` until it answers a health probe.
+    pub fn wait_healthy(&mut self, i: usize, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.probe(i) {
+                return Ok(());
+            }
+            // A child that already exited will never come up.
+            if !self.process_alive(i) {
+                return Err(io::Error::other(format!(
+                    "shard {i} exited before becoming healthy"
+                )));
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("shard {i} not healthy within {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// One health round-trip against slot `i`.
+    pub fn probe(&self, i: usize) -> bool {
+        let path = &self.slots[i].spec.socket;
+        match ServeClient::connect_with_timeout(path, Duration::from_secs(2)) {
+            Ok(mut client) => client.health().is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    /// Is the slot's process still running (`try_wait` says not
+    /// exited)? A slot never spawned reports dead.
+    pub fn process_alive(&mut self, i: usize) -> bool {
+        match &mut self.slots[i].child {
+            Some(child) => matches!(child.try_wait(), Ok(None)),
+            None => false,
+        }
+    }
+
+    /// Chaos hook: SIGKILL slot `i`'s process (no drain, no warning) —
+    /// exactly what a crashed or OOM-killed shard looks like to the
+    /// router. The robustness tests use this.
+    pub fn kill(&mut self, i: usize) -> io::Result<()> {
+        if let Some(child) = &mut self.slots[i].child {
+            child.kill()?;
+            let _ = child.wait();
+        }
+        Ok(())
+    }
+
+    /// Replace slot `i`'s process: reap whatever is left of the old
+    /// one, spawn a fresh shard on the same socket, wait for health.
+    pub fn respawn(&mut self, i: usize, ready_timeout: Duration) -> io::Result<()> {
+        if let Some(mut child) = self.slots[i].child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.spawn_slot(i)?;
+        self.wait_healthy(i, ready_timeout)
+    }
+
+    /// Graceful fleet shutdown: drain every shard (stop admission,
+    /// finish inflight, exit), then reap; a shard that ignores the
+    /// drain is killed.
+    pub fn shutdown(mut self) {
+        for slot in &mut self.slots {
+            if let Ok(mut client) =
+                ServeClient::connect_with_timeout(&slot.spec.socket, Duration::from_secs(5))
+            {
+                let _ = client.drain();
+            }
+            if let Some(mut child) = slot.child.take() {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = std::fs::remove_file(&slot.spec.socket);
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // Last-resort cleanup: never leave orphan shard processes.
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            let _ = std::fs::remove_file(&slot.spec.socket);
+        }
+    }
+}

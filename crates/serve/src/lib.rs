@@ -1,0 +1,80 @@
+//! `fmm-serve`: a sharded multi-process serving tier in front of
+//! [`fmm_core::FmmEngine`].
+//!
+//! The paper's single-process engine scales until one plan cache and
+//! one worker pool saturate. This crate puts an IPC boundary in front
+//! of it so a *fleet* of engine processes serves one workload:
+//!
+//! ```text
+//!   client ──┐
+//!   client ──┤   Unix socket    ┌────────┐  shape-hash   ┌─────────┐
+//!   client ──┼──────────────────│ router │───────────────│ shard 0 │ FmmEngine
+//!   client ──┘                  │        │──────┐        └─────────┘
+//!                               └────────┘      │        ┌─────────┐
+//!                            health / respawn / └────────│ shard 1 │ FmmEngine
+//!                            retry-onto-sibling          └─────────┘
+//! ```
+//!
+//! * [`wire`] — the length-prefixed binary protocol (version byte,
+//!   request ids, dtype tags, row-major matrix frames, typed errors).
+//! * [`shard`] — one process hosting an `FmmEngine` per dtype behind
+//!   bounded admission control (`Busy` instead of unbounded queueing).
+//! * [`fleet`] — shard-process lifecycle: spawn, health-gate, SIGKILL
+//!   chaos hook, respawn, drain.
+//! * [`router`] — deterministic `shape_hash % shards` placement (plan
+//!   caches stay hot per shard), bounded retry-with-backoff onto
+//!   siblings, automatic respawn of dead shards.
+//! * [`client`] — [`ServeClient`]: sync multiply plus a pipelined
+//!   batch mode.
+//! * [`stats`] — per-shard [`ShardStatsReport`] and the router's
+//!   aggregated [`FleetStats`] JSON snapshot.
+//!
+//! No external networking dependencies: transport is
+//! `std::os::unix::net`, serialization is the explicit little-endian
+//! wire format, and stats ride the vendored `serde_json`.
+
+pub mod client;
+pub mod fleet;
+pub mod router;
+pub mod shard;
+pub mod stats;
+pub mod wire;
+
+pub use client::{HealthInfo, ServeClient, ServeError};
+pub use fleet::{Fleet, ShardLauncher, ShardSpec, SHARD_WORKER_ARG};
+pub use router::{router_main, start_router, RouterConfig, RunningRouter};
+pub use shard::{shard_main, RunningShard, ShardConfig, ShardServer};
+pub use stats::{FleetStats, RouterCounters, ShardSlotStats, ShardStatsReport};
+pub use wire::{shape_hash, ErrorCode, Frame, WireDtype, WireError, WireScalar};
+
+/// Re-exec hook for [`ShardLauncher::SelfExec`]: call this first in
+/// `main` of any binary that spawns a self-exec'd fleet. When the
+/// process was launched as a hidden shard worker
+/// (`argv[1] == `[`SHARD_WORKER_ARG`]) this runs the shard server and
+/// never returns; otherwise it does nothing.
+pub fn maybe_run_shard_worker() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) != Some(SHARD_WORKER_ARG) {
+        return;
+    }
+    let usage = || -> ! {
+        eprintln!("usage: <exe> {SHARD_WORKER_ARG} <socket> <threads> <max_inflight>");
+        std::process::exit(2);
+    };
+    if args.len() != 5 {
+        usage();
+    }
+    let socket = std::path::PathBuf::from(&args[2]);
+    let threads: usize = args[3].parse().unwrap_or_else(|_| usage());
+    let max_inflight: usize = args[4].parse().unwrap_or_else(|_| usage());
+    let cfg = ShardConfig::new(socket)
+        .threads(threads)
+        .max_inflight(max_inflight);
+    match shard_main(cfg) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("shard worker failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

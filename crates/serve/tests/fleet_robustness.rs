@@ -1,0 +1,192 @@
+//! Fleet robustness: a router over two real shard *processes*, one of
+//! which is SIGKILLed mid-stream. The router must absorb the crash —
+//! retrying interrupted work onto the surviving sibling and respawning
+//! the dead shard — with zero client-visible failures, every product
+//! bitwise identical to `Plan::execute`, and the fleet's multiply
+//! accounting still consistent afterwards.
+
+use fmm_core::{FmmEngine, Workspace};
+use fmm_matrix::DenseMatrix;
+use fmm_serve::{
+    shape_hash, start_router, RouterConfig, ServeClient, ShardLauncher, ShardSpec, WireDtype,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 2;
+const REQUESTS_PER_CLIENT: usize = 100;
+/// Completions observed before the kill lands.
+const KILL_AFTER: u64 = 40;
+
+fn socket_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fmm-robustness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    dir
+}
+
+#[test]
+fn killing_a_shard_mid_stream_is_invisible_to_clients() {
+    let dir = socket_dir();
+    let specs = (0..2)
+        .map(|i| ShardSpec {
+            socket: dir.join(format!("shard-{i}.sock")),
+            threads: 1,
+            max_inflight: 8,
+        })
+        .collect();
+    let shard_bin = PathBuf::from(env!("CARGO_BIN_EXE_fmm-shard"));
+    let cfg = RouterConfig::new(
+        dir.join("router.sock"),
+        ShardLauncher::Binary(shard_bin),
+        specs,
+    );
+    let router = start_router(cfg).expect("start router + 2 shard processes");
+
+    // Pick 4 shapes whose placement hash covers BOTH shards (the
+    // router's placement is deterministic, so select against it):
+    // killing a shard must interrupt real traffic, and the survivor
+    // must hold its own traffic plus the retries.
+    let candidates = [
+        (48usize, 48usize, 48usize),
+        (32, 64, 32),
+        (64, 32, 16),
+        (50, 50, 50),
+        (40, 56, 40),
+        (56, 40, 24),
+        (44, 44, 44),
+        (36, 60, 28),
+    ];
+    let slot_of =
+        |&(m, k, n): &(usize, usize, usize)| (shape_hash(m, k, n, WireDtype::F64) % 2) as usize;
+    let mut by_slot: [Vec<(usize, usize, usize)>; 2] = [Vec::new(), Vec::new()];
+    for s in &candidates {
+        by_slot[slot_of(s)].push(*s);
+    }
+    assert!(
+        by_slot[0].len() >= 2 && by_slot[1].len() >= 2,
+        "candidate shapes do not cover both shards: {by_slot:?}"
+    );
+    // Two shapes per shard; references computed by a local engine
+    // (engine results are deterministic across processes and widths).
+    let shapes = [by_slot[0][0], by_slot[1][0], by_slot[0][1], by_slot[1][1]];
+    // Kill the shard that owns shapes[0] — it is guaranteed to have
+    // live traffic when the kill lands.
+    let kill_slot = slot_of(&shapes[0]);
+    let engine = FmmEngine::<f64>::builder().build().expect("engine");
+    let problems: Vec<(DenseMatrix<f64>, DenseMatrix<f64>)> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q, r))| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42 + i as u64);
+            (
+                DenseMatrix::random(p, q, &mut rng),
+                DenseMatrix::random(q, r, &mut rng),
+            )
+        })
+        .collect();
+    let expected: Vec<DenseMatrix<f64>> = problems
+        .iter()
+        .map(|(a, b)| {
+            let plan = engine.plan_for(a.rows(), a.cols(), b.cols()).expect("plan");
+            let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+            let mut ws = Workspace::for_plan(&plan);
+            plan.execute(a, b, &mut c, &mut ws);
+            c
+        })
+        .collect();
+
+    let done = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            let problems = &problems;
+            let expected = &expected;
+            let done = &done;
+            let failures = &failures;
+            let mismatches = &mismatches;
+            let router = &router;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(router.socket()).expect("connect to router");
+                for req in 0..REQUESTS_PER_CLIENT {
+                    let idx = (client_idx + req) % problems.len();
+                    let (a, b) = &problems[idx];
+                    match client.multiply(a, b) {
+                        Ok(c) => {
+                            if c.as_slice() != expected[idx].as_slice() {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("client {client_idx} request {req} failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Chaos, deterministically mid-stream: once enough requests
+        // completed, SIGKILL shard 0 while traffic keeps flowing.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while done.load(Ordering::Relaxed) < KILL_AFTER {
+            assert!(Instant::now() < deadline, "stream stalled before the kill");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        router.kill_shard(kill_slot).expect("SIGKILL shard");
+        eprintln!(
+            "killed shard {kill_slot} after {} completions",
+            done.load(Ordering::Relaxed)
+        );
+    });
+
+    // Zero client-visible failures and bitwise-identical results,
+    // through a SIGKILL.
+    assert_eq!(failures.load(Ordering::Relaxed), 0, "clients saw failures");
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0, "results drifted");
+    assert_eq!(
+        done.load(Ordering::Relaxed),
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64
+    );
+
+    // The supervisor must respawn the dead shard (it may still be in
+    // flight when the stream ends — poll).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let stats = router.fleet_stats();
+        let killed = &stats.slots[kill_slot];
+        if killed.respawns >= 1 && killed.healthy {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard {kill_slot} was not respawned: {}",
+            stats.to_json()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(stats.router.respawns >= 1);
+
+    // Accounting survives the kill: live engine counters plus the
+    // router's reconstruction of dead incarnations equal exactly the
+    // multiplies clients saw complete.
+    let completions = stats.router.completions;
+    assert_eq!(completions, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(
+        stats.shard_multiplies(),
+        completions,
+        "fleet accounting inconsistent: {}",
+        stats.to_json()
+    );
+    let slot_ok_sum: u64 = stats.slots.iter().map(|s| s.ok_total).sum();
+    assert_eq!(slot_ok_sum, completions);
+    // Both shards actually served traffic (the shape mix spreads).
+    assert!(stats.slots.iter().all(|s| s.ok_total > 0));
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

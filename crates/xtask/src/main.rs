@@ -119,6 +119,12 @@ fn lint() -> Result<String, Vec<String>> {
         "vendor facade: rayon re-exports match the pinned surface"
     );
 
+    let n_serve = lint_serve_stays_safe(&sources, &mut failures);
+    let _ = writeln!(
+        summary,
+        "serving tier: {n_serve} crates/serve sources scanned, none allowlisted"
+    );
+
     if failures.is_empty() {
         let _ = write!(summary, "lint: OK");
         Ok(summary)
@@ -214,6 +220,36 @@ fn audit_kw_sites(root: &Path, sources: &[PathBuf], failures: &mut Vec<String>) 
         }
     }
     (sources.len(), annotated)
+}
+
+/// The serving tier (`crates/serve`) handles untrusted bytes off a
+/// socket, so it is pinned to safe Rust end to end: its files must
+/// never enter the allowlist, and they must actually be present in the
+/// source scan (a crate rename that dropped them from the walk would
+/// silently void the pin). Returns the number of serve sources seen.
+fn lint_serve_stays_safe(sources: &[PathBuf], failures: &mut Vec<String>) -> usize {
+    if let Some(entry) = UNSAFE_ALLOWLIST
+        .iter()
+        .find(|a| Path::new(a).starts_with("crates/serve"))
+    {
+        failures.push(format!(
+            "{entry}: crates/serve must stay free of allowlisted {} code \
+             (it parses untrusted wire bytes); remove the entry",
+            ["un", "safe"].concat(),
+        ));
+    }
+    let n_serve = sources
+        .iter()
+        .filter(|p| p.starts_with("crates/serve"))
+        .count();
+    if n_serve == 0 {
+        failures.push(
+            "crates/serve: no sources found in the scan — the safe-Rust pin \
+             on the serving tier is not being enforced"
+                .to_string(),
+        );
+    }
+    n_serve
 }
 
 /// Validate every shipped `.alg` coefficient file: parseable, filename

@@ -1,0 +1,103 @@
+//! Serving-fleet quickstart: a router over two shard *processes*, each
+//! hosting its own `FmmEngine` behind a Unix socket — the multi-process
+//! tier that survives a crashed or wedged shard.
+//!
+//! The example re-execs itself as the shard worker
+//! (`ShardLauncher::SelfExec`), so the one binary plays every role:
+//! router, shards, and clients.
+//!
+//! Run with: `cargo run --release --example serving_fleet`
+
+use fast_matmul::matrix::Matrix;
+use fast_matmul::serve::{
+    maybe_run_shard_worker, start_router, RouterConfig, ServeClient, ShardLauncher, ShardSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // MUST come first: when the router re-execs this binary as a shard
+    // worker, this call takes over and never returns.
+    maybe_run_shard_worker();
+
+    // Two shard processes, each with a 1-wide engine and an admission
+    // limit of 8 in-flight requests (over it, the shard answers a
+    // typed Busy and the router retries a sibling).
+    let dir = std::env::temp_dir().join(format!("fmm-fleet-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let specs = (0..2)
+        .map(|i| ShardSpec {
+            socket: dir.join(format!("shard-{i}.sock")),
+            threads: 1,
+            max_inflight: 8,
+        })
+        .collect();
+    let cfg = RouterConfig::new(dir.join("router.sock"), ShardLauncher::SelfExec, specs);
+    let router = start_router(cfg).expect("spawn router + shards");
+    println!("fleet up: router at {}", router.socket().display());
+
+    // A mixed-shape stream from two client threads. Placement hashes
+    // (m, k, n, dtype) onto a shard, so each shape always lands on the
+    // same shard and that shard's plan cache stays hot.
+    let shapes = [(128, 128, 128), (96, 192, 96), (192, 96, 48)];
+    let mut rng = StdRng::seed_from_u64(7);
+    let problems: Vec<(Matrix, Matrix)> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            (
+                Matrix::random(m, k, &mut rng),
+                Matrix::random(k, n, &mut rng),
+            )
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let served: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|client| {
+                let problems = &problems;
+                let router = &router;
+                scope.spawn(move || {
+                    let mut conn =
+                        ServeClient::connect(router.socket()).expect("connect to router");
+                    for round in 0..6 {
+                        let (a, b) = &problems[(client + round) % problems.len()];
+                        let c = conn.multiply(a, b).expect("served multiply");
+                        std::hint::black_box(&c);
+                    }
+                    6
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    println!(
+        "served {served} multiplies from 2 clients through the fleet in {:.3}s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    // One connection can also pipeline a whole batch of requests.
+    let mut conn = ServeClient::connect(router.socket()).expect("connect");
+    let results = conn.multiply_batch(&problems).expect("batch");
+    println!(
+        "pipelined batch: {} results on one connection",
+        results.len()
+    );
+
+    // Fleet observability: each shard's stats RPC (engine counters,
+    // queue depth) aggregated with the router's own counters into one
+    // JSON snapshot. shard_multiplies() == completions even across
+    // shard crashes and respawns.
+    let stats = router.fleet_stats();
+    println!(
+        "fleet accounting: {} completions == {} shard multiplies across {} shards",
+        stats.router.completions,
+        stats.shard_multiplies(),
+        stats.slots.len()
+    );
+    println!("{}", stats.to_json());
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

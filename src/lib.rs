@@ -94,6 +94,16 @@
 //! assert_eq!(engine.stats().plan_cache_hits, 1);
 //! ```
 //!
+//! # Serving across processes: the fleet
+//!
+//! [`serve`] (`fmm-serve`) scales the engine past one process: shard
+//! binaries each hosting an engine behind a Unix socket, a router that
+//! hashes shapes onto shards (plan caches stay hot), retries
+//! interrupted work onto siblings and respawns dead shards, and a
+//! [`serve::ServeClient`] speaking the length-prefixed wire protocol.
+//! See the README's "Serving tier" section and
+//! `examples/serving_fleet.rs`.
+//!
 //! The high-level types are re-exported at the root — `use
 //! fast_matmul::{FmmEngine, Planner, Plan, Workspace, Options}` — so
 //! typical users never need the `fast_matmul::core::...` paths.
@@ -102,6 +112,7 @@ pub use fmm_core as core;
 pub use fmm_gemm as gemm;
 pub use fmm_matrix as matrix;
 pub use fmm_search as search;
+pub use fmm_serve as serve;
 pub use fmm_tensor as tensor;
 pub use fmm_verify as verify;
 
