@@ -18,30 +18,48 @@
 //! ```text
 //! loadgen [--quick|--full] [--threads 1,4] [--shards 2]
 //!         [--max-inflight Q] [--dtype f32|f64] [--json PATH]
-//!         [--stats-json PATH]
+//!         [--stats-json PATH] [--trace PATH] [--chaos]
 //! ```
+//!
+//! `--trace PATH` turns span tracing on across the whole fleet (the
+//! shard processes inherit `FMM_TRACE_DIR` and periodically flush
+//! their rings) and writes one merged Chrome/Perfetto-loadable trace.
+//! `--chaos` SIGKILLs shard 0 between sweeps and waits for the
+//! supervisor to respawn it — the crash-recovery acceptance drill.
+//!
+//! Latency columns for both tiers are read from the always-on
+//! histograms (`EngineStats::latency` for the engine tier, the
+//! router-observed `FleetStats::router_latency` for the fleet tier),
+//! diffed per sweep; the client-side raw samples remain only as the
+//! cross-check that the fleet's merged histogram tails agree with
+//! what clients actually observed.
 //!
 //! On a 1-core CI box the fleet cannot beat the single process — the
 //! comparison there is about verifying the serving path, not about
 //! speedup; see EXPERIMENTS.md.
 
 use fmm_bench::{
-    dtype_tag, run_mixed_stream, workload_in, Dtype, HarnessConfig, Measurement, StreamOutcome,
+    dtype_tag, percentile_sorted, run_mixed_stream, workload_in, Dtype, HarnessConfig,
+    LatencyStats, Measurement, StreamOutcome,
 };
 use fmm_core::FmmEngine;
 use fmm_matrix::DenseMatrix;
 use fmm_serve::{
-    maybe_run_shard_worker, start_router, FleetStats, RouterConfig, ServeClient, ShardLauncher,
-    ShardSpec, WireScalar,
+    maybe_run_shard_worker, start_router, FleetStats, RouterConfig, RunningRouter, ServeClient,
+    ShardLauncher, ShardSpec, WireScalar,
 };
-use std::path::PathBuf;
+use fmm_trace::{merged_total, Histogram, TraceSink, RELATIVE_ERROR_BOUND};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 struct LoadgenConfig {
     harness: HarnessConfig,
     shards: usize,
     max_inflight: usize,
     stats_json: Option<String>,
+    trace_out: Option<String>,
+    chaos: bool,
 }
 
 fn parse_args() -> LoadgenConfig {
@@ -52,11 +70,14 @@ fn parse_args() -> LoadgenConfig {
             trials: 1,
             thread_counts: vec![1, 4],
             json_out: None,
+            stats_json: None,
             dtype: Dtype::F64,
         },
         shards: 2,
         max_inflight: 8,
         stats_json: None,
+        trace_out: None,
+        chaos: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -87,6 +108,11 @@ fn parse_args() -> LoadgenConfig {
                 i += 1;
                 cfg.stats_json = Some(args[i].clone());
             }
+            "--trace" => {
+                i += 1;
+                cfg.trace_out = Some(args[i].clone());
+            }
+            "--chaos" => cfg.chaos = true,
             "--dtype" => {
                 i += 1;
                 cfg.harness.dtype = match args[i].as_str() {
@@ -133,6 +159,18 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
     };
     let requests_per_client = if cfg.harness.quick { 24 } else { 64 };
 
+    // Tracing must be configured before the fleet spawns: the shard
+    // processes are re-execs of this binary and pick the directory up
+    // from the inherited environment (see `fmm_serve::shard_main`).
+    let dir = socket_dir();
+    let trace_dir = dir.join("trace");
+    if cfg.trace_out.is_some() {
+        std::fs::create_dir_all(&trace_dir).expect("create trace dir");
+        std::env::set_var("FMM_TRACE_DIR", &trace_dir);
+        fmm_trace::set_process_label(&format!("loadgen-{}", std::process::id()));
+        fmm_trace::set_enabled(true);
+    }
+
     let problems: Vec<(DenseMatrix<T>, DenseMatrix<T>)> = shapes
         .iter()
         .enumerate()
@@ -149,7 +187,6 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
         .collect();
 
     // Bring the fleet up: N shard processes + an in-process router.
-    let dir = socket_dir();
     let specs = (0..cfg.shards)
         .map(|i| ShardSpec {
             socket: dir.join(format!("shard-{i}.sock")),
@@ -165,14 +202,24 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
         router.socket().display()
     );
 
-    println!("tier,dtype,clients,requests,failures,total_s,mps,p50_ms,p99_ms");
+    println!("tier,dtype,clients,requests,failures,total_s,mps,p50_ms,p99_ms,p999_ms");
     let mut rows: Vec<Measurement> = Vec::new();
     let mismatches = AtomicU64::new(0);
+    // Raw fleet-tier client samples, kept only for the end-of-run
+    // cross-check against the router's merged histogram tails.
+    let mut fleet_samples: Vec<f64> = Vec::new();
 
-    for &clients in &cfg.harness.thread_counts {
+    for (sweep, &clients) in cfg.harness.thread_counts.iter().enumerate() {
         let clients = clients.max(1);
 
-        // Tier 1: the single-process engine, same stream.
+        if cfg.chaos && sweep > 0 {
+            chaos_kill_and_wait(&router);
+        }
+
+        // Tier 1: the single-process engine, same stream. Latency
+        // columns come from the engine's own histogram, diffed over
+        // the sweep window.
+        let engine_before = merged_total(&engine.stats().latency);
         let baseline = run_mixed_stream(clients, requests_per_client, problems.len(), |_| {
             let engine = engine.clone();
             let problems = &problems;
@@ -182,7 +229,8 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
                 true
             }
         });
-        report::<T>("engine", clients, &baseline);
+        let window = merged_total(&engine.stats().latency).saturating_diff(&engine_before);
+        report::<T>("engine", clients, &baseline, &window);
         push_rows(
             &mut rows,
             &format!("engine{}(x{})", dtype_tag::<T>(), engine.threads()),
@@ -193,6 +241,9 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
 
         // Tier 2: the fleet, one ServeClient connection per client
         // thread, every product checked bitwise against the reference.
+        // Latency columns come from the router-observed histogram —
+        // the view that survives shard kills.
+        let fleet_before = router.fleet_stats().merged_router_latency();
         let fleet = run_mixed_stream(clients, requests_per_client, problems.len(), |_| {
             let mut client = ServeClient::connect(router.socket()).expect("connect to router");
             let problems = &problems;
@@ -216,7 +267,17 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
                 }
             }
         });
-        report::<T>(&format!("fleet(shards={})", cfg.shards), clients, &fleet);
+        let window = router
+            .fleet_stats()
+            .merged_router_latency()
+            .saturating_diff(&fleet_before);
+        fleet_samples.extend(fleet.samples.iter().map(|s| s.seconds));
+        report::<T>(
+            &format!("fleet(shards={})", cfg.shards),
+            clients,
+            &fleet,
+            &window,
+        );
         push_rows(
             &mut rows,
             &format!("fleet(shards={}){}", cfg.shards, dtype_tag::<T>()),
@@ -245,7 +306,14 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
     );
     eprintln!("all fleet-served products matched the local engine bitwise");
 
+    // Acceptance cross-check: the router's merged histogram tails must
+    // agree with what the clients measured for themselves.
+    tail_agreement_report(&fleet_samples, &stats.merged_router_latency());
+
     router.shutdown();
+    if let Some(path) = &cfg.trace_out {
+        export_merged_trace(path, &trace_dir);
+    }
     let _ = std::fs::remove_dir_all(&dir);
 
     if let Some(path) = &cfg.harness.json_out {
@@ -255,17 +323,114 @@ fn run<T: WireScalar>(cfg: &LoadgenConfig) {
     }
 }
 
-fn report<T: WireScalar>(tier: &str, clients: usize, outcome: &StreamOutcome) {
-    let stats = outcome.latency();
+/// One CSV row per tier/sweep. Throughput numbers come from the
+/// client-side stream; the latency columns come from `window`, this
+/// sweep's slice of the tier's always-on histogram.
+fn report<T: WireScalar>(tier: &str, clients: usize, outcome: &StreamOutcome, window: &Histogram) {
+    let stats = LatencyStats::from_histogram(window);
     println!(
-        "{tier},{},{clients},{},{},{:.3},{:.1},{:.3},{:.3}",
+        "{tier},{},{clients},{},{},{:.3},{:.1},{:.3},{:.3},{:.3}",
         T::NAME,
         stats.count,
         outcome.failures,
         outcome.total_s,
         outcome.mps(),
         stats.p50_s * 1e3,
-        stats.p99_s * 1e3
+        stats.p99_s * 1e3,
+        stats.p999_s * 1e3
+    );
+}
+
+/// SIGKILL shard 0 and block until the supervisor has respawned it and
+/// the slot answers its health probe again.
+fn chaos_kill_and_wait(router: &RunningRouter) {
+    let respawns_before = router.fleet_stats().slots[0].respawns;
+    eprintln!("chaos: SIGKILL shard 0");
+    router.kill_shard(0).expect("kill shard 0");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let slot0 = &router.fleet_stats().slots[0];
+        if slot0.respawns > respawns_before && slot0.healthy {
+            eprintln!(
+                "chaos: shard 0 respawned (respawns={}) and healthy",
+                slot0.respawns
+            );
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard 0 was not respawned within 30s of a chaos kill"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Compare client-observed percentiles against the router's merged
+/// histogram. The histogram buckets values to within
+/// [`RELATIVE_ERROR_BOUND`]; on top of that the client additionally
+/// sees its own wire hop (encode + two UDS transfers), so the check
+/// allows the bucket error plus a transport slack, and an absolute
+/// floor for very fast quick-mode runs.
+fn tail_agreement_report(client_samples: &[f64], router_hist: &Histogram) {
+    let mut sorted = client_samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    for (name, q) in [("p50", 0.50), ("p99", 0.99)] {
+        let client_s = percentile_sorted(&sorted, q);
+        let hist_s = router_hist.quantile(q) as f64 / 1e9;
+        let tolerance = client_s * (RELATIVE_ERROR_BOUND + 0.50) + 2e-3;
+        let agree = (client_s - hist_s).abs() <= tolerance;
+        eprintln!(
+            "tail agreement {name}: client {:.3} ms vs fleet histogram {:.3} ms ({})",
+            client_s * 1e3,
+            hist_s * 1e3,
+            if agree {
+                "within bound"
+            } else {
+                "OUT OF BOUND"
+            }
+        );
+        assert!(
+            agree,
+            "fleet histogram {name} diverged from client-side percentile: \
+             client {client_s:.6}s vs histogram {hist_s:.6}s (tolerance {tolerance:.6}s)"
+        );
+    }
+}
+
+/// Merge this process's spans with every shard's flushed trace file
+/// into one Chrome/Perfetto-loadable JSON document, and print the
+/// local worker timeline while we're at it.
+fn export_merged_trace(path: &str, trace_dir: &Path) {
+    let local = TraceSink::collect();
+    eprintln!("{}", local.timeline(72));
+    let mut parts = vec![local.export_chrome_json()];
+    let mut shard_files = 0usize;
+    if let Ok(entries) = std::fs::read_dir(trace_dir) {
+        let mut names: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("trace-shard-") && n.ends_with(".json"))
+            })
+            .collect();
+        names.sort();
+        for file in names {
+            match std::fs::read_to_string(&file) {
+                Ok(json) => {
+                    parts.push(json);
+                    shard_files += 1;
+                }
+                Err(e) => eprintln!("skipping unreadable trace file {}: {e}", file.display()),
+            }
+        }
+    }
+    let merged = TraceSink::merge_chrome_json(&parts).expect("merge chrome traces");
+    std::fs::write(path, merged).expect("write trace json");
+    eprintln!(
+        "wrote merged Chrome trace ({} shard file(s) + local) to {path}",
+        shard_files
     );
 }
 

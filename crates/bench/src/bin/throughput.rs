@@ -12,11 +12,19 @@
 //! runs the identical stream through an `FmmEngine<f32>` (same seeds,
 //! same shapes) for the f32-vs-f64 serving comparison in
 //! EXPERIMENTS.md. `--json PATH` writes per-shape `Measurement` rows
-//! that `summarize` can digest.
+//! that `summarize` can digest; `--stats-json PATH` dumps the final
+//! [`fmm_core::EngineStats`] (including the per-shape-class latency
+//! histograms) for `summarize --engine-stats`.
+//!
+//! Latency columns are read from the engine's always-on histogram
+//! ([`fmm_core::EngineStats::latency`]), diffed per sweep — the same
+//! numbers an operator gets from a live engine, at the histogram's
+//! bucket resolution.
 
 use fmm_bench::*;
 use fmm_core::{FmmEngine, GemmScalar};
 use fmm_matrix::DenseMatrix;
+use fmm_trace::merged_total;
 use std::time::Instant;
 
 fn main() {
@@ -53,10 +61,14 @@ fn run<T: GemmScalar>(cfg: &HarnessConfig) {
         engine.multiply(a, b).expect("warm-up multiply");
     }
 
-    println!("dtype,clients,engine_threads,requests,total_s,mps,p50_ms,p99_ms");
+    println!("dtype,clients,engine_threads,requests,total_s,mps,p50_ms,p99_ms,p999_ms");
     let mut rows: Vec<Measurement> = Vec::new();
     for &clients in &cfg.thread_counts {
         let clients = clients.max(1);
+        // Latency columns come from the engine's own histogram, diffed
+        // over this sweep's window (warm-up and earlier sweeps fall out
+        // of the difference).
+        let before = merged_total(&engine.stats().latency);
         // The shared serving-stream loop: clients staggered across the
         // shape mix, each request timed individually.
         let outcome = run_mixed_stream(clients, requests_per_client, problems.len(), |_client| {
@@ -69,16 +81,18 @@ fn run<T: GemmScalar>(cfg: &HarnessConfig) {
                 true
             }
         });
-        let stats = outcome.latency();
+        let window = merged_total(&engine.stats().latency).saturating_diff(&before);
+        let stats = LatencyStats::from_histogram(&window);
         println!(
-            "{},{clients},{},{},{:.3},{:.1},{:.3},{:.3}",
+            "{},{clients},{},{},{:.3},{:.1},{:.3},{:.3},{:.3}",
             T::NAME,
             engine.threads(),
             stats.count,
             outcome.total_s,
             outcome.mps(),
             stats.p50_s * 1e3,
-            stats.p99_s * 1e3
+            stats.p99_s * 1e3,
+            stats.p999_s * 1e3
         );
         // One summarize-compatible row per shape: mean latency as the
         // per-request time, at this client count.
@@ -129,5 +143,10 @@ fn run<T: GemmScalar>(cfg: &HarnessConfig) {
         let json = serde_json::to_string_pretty(&rows).expect("serialize");
         std::fs::write(path, json).expect("write json");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &cfg.stats_json {
+        let json = serde_json::to_string_pretty(&stats).expect("serialize stats");
+        std::fs::write(path, json).expect("write stats json");
+        eprintln!("wrote engine stats (with latency histograms) to {path}");
     }
 }

@@ -1,0 +1,83 @@
+//! Where does the time go inside one fast multiply? The software
+//! analog of the paper's Fig. 4: per parallel scheme, the share of
+//! worker time spent in base-case gemms versus the S/T addition
+//! phases versus the M-combine, measured from `fmm-trace` spans.
+//!
+//! ```text
+//! timeshare [--quick|--full] [--trials T] [--threads N]
+//! ```
+//!
+//! The paper's observation is that fast algorithms win exactly when
+//! the addition overhead stays a small fraction of the base-case gemm
+//! time; this binary quotes that fraction directly, per schedule, for
+//! EXPERIMENTS.md.
+
+use fmm_bench::*;
+use fmm_core::{AdditionMethod, Options, Planner, Scheme, Workspace};
+use fmm_matrix::Matrix;
+use fmm_trace::{SpanKind, TraceSink};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let (dim, steps) = if cfg.quick { (256, 2) } else { (768, 2) };
+    let par_threads = cfg
+        .thread_counts
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or_else(num_threads_available)
+        .max(2);
+    fmm_trace::set_enabled(true);
+
+    let (a, b) = workload(dim, dim, dim, 42);
+    let mut c = Matrix::zeros(dim, dim);
+
+    println!("scheme,threads,spans,base_gemm_pct,additions_pct,combine_pct,peel_pct");
+    for (scheme, threads) in [
+        (Scheme::Sequential, 1),
+        (Scheme::Bfs, par_threads),
+        (Scheme::Dfs, par_threads),
+        (Scheme::Hybrid, par_threads),
+    ] {
+        let plan = Planner::new()
+            .shape(dim, dim, dim)
+            .algorithm(&fmm_algo::strassen())
+            .steps(steps)
+            .options(Options {
+                scheme,
+                additions: AdditionMethod::WriteOnce,
+                ..Options::default()
+            })
+            .plan::<f64>()
+            .expect("timeshare plan");
+        let mut ws = Workspace::for_plan(&plan);
+        // Warm-up outside the traced region, then trace `trials` runs.
+        pool(threads).install(|| plan.execute(&a, &b, &mut c, &mut ws));
+        fmm_trace::reset();
+        pool(threads).install(|| {
+            for _ in 0..cfg.trials.max(1) {
+                plan.execute(&a, &b, &mut c, &mut ws);
+            }
+        });
+        let sink = TraceSink::collect();
+        let shares = sink.work_share();
+        let pct = |kind: SpanKind| {
+            shares
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map_or(0.0, |&(_, p)| p)
+        };
+        let spans: u64 = SpanKind::ALL
+            .iter()
+            .filter(|k| k.is_leaf_work())
+            .map(|&k| sink.count(k))
+            .sum();
+        println!(
+            "{scheme:?},{threads},{spans},{:.1},{:.1},{:.1},{:.1}",
+            pct(SpanKind::BaseGemm),
+            pct(SpanKind::Additions),
+            pct(SpanKind::Combine),
+            pct(SpanKind::PeelGemm),
+        );
+    }
+}

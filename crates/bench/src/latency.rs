@@ -18,6 +18,8 @@ pub struct LatencyStats {
     pub p50_s: f64,
     /// 99th-percentile request latency, seconds.
     pub p99_s: f64,
+    /// 99.9th-percentile request latency, seconds.
+    pub p999_s: f64,
     /// Mean request latency, seconds.
     pub mean_s: f64,
 }
@@ -31,6 +33,7 @@ impl LatencyStats {
                 count: 0,
                 p50_s: 0.0,
                 p99_s: 0.0,
+                p999_s: 0.0,
                 mean_s: 0.0,
             };
         }
@@ -39,17 +42,36 @@ impl LatencyStats {
             count: samples.len(),
             p50_s: percentile_sorted(samples, 0.50),
             p99_s: percentile_sorted(samples, 0.99),
+            p999_s: percentile_sorted(samples, 0.999),
             mean_s: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+
+    /// Compute from a nanosecond-valued latency
+    /// [`Histogram`](fmm_trace::Histogram) — how
+    /// the harnesses read tails straight out of engine/fleet stats
+    /// instead of keeping every raw sample. Quantiles inherit the
+    /// histogram's bucket-midpoint resolution
+    /// (±[`fmm_trace::RELATIVE_ERROR_BOUND`]).
+    pub fn from_histogram(hist: &fmm_trace::Histogram) -> LatencyStats {
+        const NS: f64 = 1e9;
+        LatencyStats {
+            count: hist.count() as usize,
+            p50_s: hist.quantile(0.50) as f64 / NS,
+            p99_s: hist.quantile(0.99) as f64 / NS,
+            p999_s: hist.quantile(0.999) as f64 / NS,
+            mean_s: hist.mean() / NS,
         }
     }
 }
 
-/// Quantile `q` of an ascending-sorted sample (the historical
-/// `throughput` rule: index `⌊len·q⌋`, clamped).
-pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
-    sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
-}
+/// Quantile `q` of an ascending-sorted sample. This is a re-export of
+/// the workspace's one percentile implementation
+/// ([`fmm_trace::percentile_sorted`]; the historical `throughput`
+/// rule, index `⌊len·q⌋` clamped, `0.0` on an empty sample) — keep it
+/// the only definition so `throughput`, `loadgen`, and the histogram
+/// quantiles stay comparable by construction.
+pub use fmm_trace::{percentile_rank, percentile_sorted};
 
 /// One timed request from a mixed stream.
 #[derive(Debug, Clone, Copy)]
@@ -180,6 +202,28 @@ mod tests {
         assert_eq!(percentile_sorted(&sorted, 0.99), 100.0);
         assert_eq!(percentile_sorted(&[7.0], 0.50), 7.0);
         assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+        // Edge cases that used to bite: empty set no longer panics,
+        // and a single sample answers every quantile.
+        assert_eq!(percentile_sorted(&[], 0.50), 0.0);
+        assert_eq!(percentile_rank(0, 0.99), None);
+        assert_eq!(percentile_sorted(&[7.0], 0.999), 7.0);
+    }
+
+    #[test]
+    fn stats_from_histogram_track_recorded_values() {
+        let mut hist = fmm_trace::Histogram::new();
+        // 1 ms × 99, 100 ms × 1: p50 near 1 ms, p999 near 100 ms.
+        hist.record_n(1_000_000, 99);
+        hist.record(100_000_000);
+        let stats = LatencyStats::from_histogram(&hist);
+        assert_eq!(stats.count, 100);
+        assert!((stats.p50_s - 1e-3).abs() <= 1e-3 * fmm_trace::RELATIVE_ERROR_BOUND);
+        assert!((stats.p999_s - 0.1).abs() <= 0.1 * fmm_trace::RELATIVE_ERROR_BOUND);
+        assert!(stats.p50_s <= stats.p99_s && stats.p99_s <= stats.p999_s);
+
+        let empty = LatencyStats::from_histogram(&fmm_trace::Histogram::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p999_s, 0.0);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 pub mod latency;
 
-pub use latency::{percentile_sorted, run_mixed_stream, LatencyStats, StreamOutcome, StreamSample};
+pub use latency::{
+    percentile_rank, percentile_sorted, run_mixed_stream, LatencyStats, StreamOutcome, StreamSample,
+};
 
 use fmm_core::{AdditionMethod, GemmScalar, Options, Planner, Scheme, Workspace};
 use fmm_matrix::{DenseMatrix, Matrix, Scalar};
@@ -42,6 +44,9 @@ pub struct HarnessConfig {
     pub thread_counts: Vec<usize>,
     /// Optional JSON output path.
     pub json_out: Option<String>,
+    /// Optional path for an end-of-run engine/fleet stats JSON dump
+    /// (`--stats-json PATH`; which document depends on the binary).
+    pub stats_json: Option<String>,
     /// Element type to measure in (`--dtype f32|f64`; default f64).
     pub dtype: Dtype,
 }
@@ -49,7 +54,7 @@ pub struct HarnessConfig {
 impl HarnessConfig {
     /// Parse from `std::env::args`: `--quick` (default), `--full`,
     /// `--trials T`, `--threads 1,2`, `--json PATH`,
-    /// `--dtype f32|f64`.
+    /// `--stats-json PATH`, `--dtype f32|f64`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut cfg = HarnessConfig {
@@ -57,6 +62,7 @@ impl HarnessConfig {
             trials: 3,
             thread_counts: vec![1, num_threads_available()],
             json_out: None,
+            stats_json: None,
             dtype: Dtype::F64,
         };
         let mut i = 1;
@@ -78,6 +84,10 @@ impl HarnessConfig {
                 "--json" => {
                     i += 1;
                     cfg.json_out = Some(args[i].clone());
+                }
+                "--stats-json" => {
+                    i += 1;
+                    cfg.stats_json = Some(args[i].clone());
                 }
                 "--dtype" => {
                     i += 1;

@@ -267,6 +267,7 @@ impl<T: GemmScalar> EngineBuilder<T> {
                 max_pooled_workspaces: self.max_pooled_workspaces.unwrap_or(2 * width + 2),
                 max_pooled_workspace_len: self.max_pooled_workspace_len.unwrap_or(usize::MAX),
                 counters: Counters::default(),
+                hists: fmm_trace::HistogramSet::new(),
             }),
         })
     }
@@ -353,7 +354,7 @@ struct Counters {
 /// Serializable ([`EngineStats::to_json`]/[`EngineStats::from_json`])
 /// so a serving process can report its counters over an RPC and a
 /// router can aggregate them fleet-wide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Pool width the engine executes at.
     pub threads: usize,
@@ -384,6 +385,15 @@ pub struct EngineStats {
     /// concurrent requests) can inflate each other's share; treat it as
     /// evidence of stealing, not an exact attribution.
     pub tasks_stolen: u64,
+    /// Per-`"<shape-class>/<dtype>"` request latency histograms
+    /// (nanoseconds, whole [`FmmEngine::multiply`] serve path),
+    /// recorded unconditionally — independent of the `fmm-trace` span
+    /// gate. Cumulative like every other counter here: diff two
+    /// snapshots ([`fmm_trace::Histogram::saturating_diff`]) to get a
+    /// window, merge rows ([`fmm_trace::merge_rows`]) to aggregate
+    /// engines fleet-wide. Quantiles carry the
+    /// [`fmm_trace::RELATIVE_ERROR_BOUND`] relative error bound.
+    pub latency: Vec<fmm_trace::HistogramRow>,
 }
 
 impl EngineStats {
@@ -412,6 +422,7 @@ struct EngineInner<T> {
     max_pooled_workspaces: usize,
     max_pooled_workspace_len: usize,
     counters: Counters,
+    hists: fmm_trace::HistogramSet,
 }
 
 impl<T: GemmScalar> EngineInner<T> {
@@ -527,14 +538,29 @@ impl<T: GemmScalar> EngineInner<T> {
                 got: c.shape(),
             });
         }
+        // One clock read starts both the always-on latency histogram
+        // and (when the trace gate is up) the request span.
+        let t_req = fmm_trace::now_ns();
+        let trace = fmm_trace::enabled();
+        let t_span = fmm_trace::now_if(trace);
         let plan = self.plan_for(m, ka, n)?;
+        fmm_trace::span_end(fmm_trace::SpanKind::PlanLookup, t_span, 0);
+        let t_span = fmm_trace::now_if(trace);
         let mut ws = self.checkout_workspace();
+        fmm_trace::span_end(fmm_trace::SpanKind::WorkspaceCheckout, t_span, 0);
         // `install` is a no-op indirection when we're already on one of
         // this pool's workers (the submit path).
         let snap = self
             .pool
             .install(|| plan.execute_with_stats(a, b, c, &mut ws));
         self.checkin_workspace(ws);
+        self.hists.record(
+            &format!("{}/{}", shape_class(m, ka, n), T::NAME),
+            fmm_trace::now_ns().saturating_sub(t_req),
+        );
+        if trace {
+            fmm_trace::span_end(fmm_trace::SpanKind::Request, t_req, (m * ka * n) as u64);
+        }
         let cs = &self.counters;
         cs.multiplies.fetch_add(1, Ordering::Relaxed);
         if snap.workspace_reused {
@@ -695,7 +721,24 @@ impl<T: GemmScalar> FmmEngine<T> {
             base_gemms: cs.base_gemms.load(Ordering::Relaxed),
             peel_gemms: cs.peel_gemms.load(Ordering::Relaxed),
             tasks_stolen: cs.tasks_stolen.load(Ordering::Relaxed),
+            latency: self.inner.hists.snapshot(),
         }
+    }
+}
+
+/// Coarse shape class a request is histogrammed under: the power-of-two
+/// band of the largest dimension. Shapes in one class share a plan
+/// family and a latency regime, so per-class histograms separate the
+/// fleet's small-product tail from its large-product tail without
+/// per-shape cardinality.
+pub fn shape_class(m: usize, k: usize, n: usize) -> &'static str {
+    match m.max(k).max(n) {
+        0..=64 => "p0-64",
+        65..=128 => "p65-128",
+        129..=256 => "p129-256",
+        257..=512 => "p257-512",
+        513..=1024 => "p513-1024",
+        _ => "p1025+",
     }
 }
 

@@ -597,6 +597,9 @@ pub(crate) fn execute_on<T: GemmScalar>(
         scheme: opts.scheme,
         threshold,
         stats,
+        // The tracing gate is read once per execute and carried as a
+        // plain bool so recursion leaves never touch the atomic.
+        trace: fmm_trace::enabled(),
     };
     if opts.border == BorderHandling::Padding && !levels.is_empty() {
         // Pad each dimension to the full per-level product so no
@@ -645,6 +648,7 @@ struct Ctx<'p, T> {
     scheme: Scheme,
     threshold: u64,
     stats: Option<&'p ExecStats>,
+    trace: bool,
 }
 
 impl<T> Ctx<'_, T> {
@@ -700,6 +704,8 @@ impl<T: GemmScalar> Ctx<'_, T> {
     ) {
         self.count(|s| &s.base_gemms, 1);
         self.mark_thread();
+        let flops = (a.rows() * a.cols() * b.cols()) as u64;
+        let t_span = fmm_trace::now_if(self.trace);
         match self.scheme {
             Scheme::Sequential | Scheme::Bfs => gemm(alpha, a, b, beta, c),
             Scheme::Dfs => par_gemm(alpha, a, b, beta, c),
@@ -711,6 +717,7 @@ impl<T: GemmScalar> Ctx<'_, T> {
                 }
             }
         }
+        fmm_trace::span_end(fmm_trace::SpanKind::BaseGemm, t_span, flops);
     }
 
     /// Gemm used for peel strips at `depth`.
@@ -725,6 +732,8 @@ impl<T: GemmScalar> Ctx<'_, T> {
     ) {
         self.count(|s| &s.peel_gemms, 1);
         self.mark_thread();
+        let flops = (a.rows() * a.cols() * b.cols()) as u64;
+        let t_span = fmm_trace::now_if(self.trace);
         let par = match self.scheme {
             Scheme::Sequential => false,
             Scheme::Dfs => true,
@@ -735,6 +744,7 @@ impl<T: GemmScalar> Ctx<'_, T> {
         } else {
             gemm(alpha, a, b, beta, c)
         }
+        fmm_trace::span_end(fmm_trace::SpanKind::PeelGemm, t_span, flops);
     }
 }
 
@@ -1091,8 +1101,11 @@ fn fast_step<T: GemmScalar>(
     let (st_buf, child_buf) = rest.split_at_mut(layout.st_len);
 
     // CSE temporaries are shared across all chains of a side.
+    let t_span =
+        fmm_trace::now_if(ctx.trace && !(lp.uplan.temps.is_empty() && lp.vplan.temps.is_empty()));
     let utemps = eval_temps(&lp.uplan.temps, &ga, &a, par, ut_buf);
     let vtemps = eval_temps(&lp.vplan.temps, &gb, &b, par, vt_buf);
+    fmm_trace::span_end(fmm_trace::SpanKind::Additions, t_span, depth as u64);
 
     // Per-multiplication S/T buffers.
     let (mut sbufs, mut tbufs) = carve_st(lp, layout, st_buf);
@@ -1107,10 +1120,12 @@ fn fast_step<T: GemmScalar>(
 
     match ctx.additions {
         AdditionMethod::Streaming => {
+            let t_span = fmm_trace::now_if(ctx.trace);
             let ss =
                 form_side_streaming(&lp.uplan, &ga, &a, &utemps, par, std::mem::take(&mut sbufs));
             let ts =
                 form_side_streaming(&lp.vplan, &gb, &b, &vtemps, par, std::mem::take(&mut tbufs));
+            fmm_trace::span_end(fmm_trace::SpanKind::Additions, t_span, depth as u64);
             for r in 0..rank {
                 scales[r] = ss[r].1 * ts[r].1;
             }
@@ -1153,6 +1168,7 @@ fn fast_step<T: GemmScalar>(
         AdditionMethod::WriteOnce | AdditionMethod::Pairwise => {
             if sequentialish {
                 for (r, m_chunk) in ms_buf.chunks_mut(layout.m_size).enumerate() {
+                    let t_span = fmm_trace::now_if(ctx.trace);
                     let (sv, su) = form_operand(
                         &lp.uplan,
                         r,
@@ -1173,6 +1189,7 @@ fn fast_step<T: GemmScalar>(
                         par,
                         tbufs[r].take(),
                     );
+                    fmm_trace::span_end(fmm_trace::SpanKind::Additions, t_span, r as u64);
                     scales[r] = su * tu;
                     let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                     run_node(
@@ -1203,6 +1220,7 @@ fn fast_step<T: GemmScalar>(
                         scope.spawn(move |_| {
                             // S/T formation is part of the task (§4.2),
                             // hence sequential additions here.
+                            let t_span = fmm_trace::now_if(ctx.trace);
                             let (sv, su) = form_operand(
                                 &lp.uplan,
                                 r,
@@ -1223,6 +1241,7 @@ fn fast_step<T: GemmScalar>(
                                 false,
                                 tbuf,
                             );
+                            fmm_trace::span_end(fmm_trace::SpanKind::Additions, t_span, r as u64);
                             slot[0] = su * tu;
                             let m = MatMut::from_slice(m_chunk, sub_rows, sub_cols, sub_cols);
                             run_node(
@@ -1246,7 +1265,9 @@ fn fast_step<T: GemmScalar>(
         .chunks(layout.m_size)
         .map(|chunk| MatRef::from_slice(chunk, sub_rows, sub_cols, sub_cols))
         .collect();
+    let t_span = fmm_trace::now_if(ctx.trace);
     combine_outputs(ctx, lp, &ms, &scales, c, par);
+    fmm_trace::span_end(fmm_trace::SpanKind::Combine, t_span, depth as u64);
 }
 
 /// Disjoint per-child workspace regions for concurrent (BFS/HYBRID)

@@ -117,7 +117,7 @@ pub use accuracy::{
 pub use certificate::PlanCertificate;
 pub use codegen::generate_rust;
 pub use cutoff::GemmProfile;
-pub use engine::{EngineBuilder, EngineError, EngineStats, FmmEngine, MultiplyHandle};
+pub use engine::{shape_class, EngineBuilder, EngineError, EngineStats, FmmEngine, MultiplyHandle};
 pub use executor::{
     AdditionMethod, BorderHandling, ExecStats, ExecStatsSnapshot, FastMul, Options, Scheme,
 };

@@ -1,0 +1,78 @@
+//! The tracing overhead guard: span hooks are compiled into the hot
+//! path unconditionally, so the *disabled* gate must stay cheap — the
+//! leaf loops hoist the gate read (`now_if`) out of the per-leaf work
+//! and a disabled run must record nothing at all.
+//!
+//! Timing-sensitive, so the throughput half only runs in release
+//! builds (debug-mode ratios are dominated by unoptimized overhead
+//! everywhere and prove nothing about the release hot path).
+
+use fmm_core::{Options, Planner, Scheme, Workspace};
+use fmm_matrix::Matrix;
+use fmm_trace::TraceSink;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+fn median_run_secs(plan: &fmm_core::Plan, a: &Matrix, b: &Matrix, runs: usize) -> f64 {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    let mut ws = Workspace::for_plan(plan);
+    // Warm-up.
+    plan.execute(a, b, &mut c, &mut ws);
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            plan.execute(a, b, &mut c, &mut ws);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    times[times.len() / 2]
+}
+
+#[test]
+fn disabled_tracing_is_free_and_silent() {
+    let dim = 192;
+    let plan = Planner::new()
+        .shape(dim, dim, dim)
+        .algorithm(&fmm_algo::strassen())
+        .steps(2)
+        .options(Options {
+            scheme: Scheme::Sequential,
+            ..Options::default()
+        })
+        .plan::<f64>()
+        .expect("overhead test plan");
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Matrix::random(dim, dim, &mut rng);
+    let b = Matrix::random(dim, dim, &mut rng);
+
+    // Silence: a disabled run must leave the rings untouched.
+    fmm_trace::reset();
+    fmm_trace::set_enabled(false);
+    let disabled = median_run_secs(&plan, &a, &b, 15);
+    let sink = TraceSink::collect();
+    assert!(
+        sink.tracks.iter().all(|t| t.records.is_empty()),
+        "a tracing-disabled run must record no spans"
+    );
+
+    if cfg!(debug_assertions) {
+        // Debug-build timings say nothing about the release hot path.
+        return;
+    }
+
+    fmm_trace::reset();
+    fmm_trace::set_enabled(true);
+    let enabled = median_run_secs(&plan, &a, &b, 15);
+    fmm_trace::set_enabled(false);
+
+    // Generous: even *enabled* tracing is per-leaf clock reads against
+    // multi-microsecond leaf gemms; disabled must be well inside noise
+    // of that. A failure here means a gate check or clock read leaked
+    // into the per-element loops.
+    assert!(
+        disabled <= enabled * 1.5 + 1e-4,
+        "tracing-disabled run ({disabled:.6}s) slower than enabled ({enabled:.6}s): \
+         the disabled gate is no longer cheap"
+    );
+}

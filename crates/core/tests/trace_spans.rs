@@ -1,0 +1,145 @@
+//! Tracing instrumentation is *accounting*: the spans the executor
+//! records must agree exactly with the executor's own counters, and
+//! the per-thread span streams must be well-formed (LIFO-nested,
+//! positive-duration intervals) so a Chrome trace of them renders
+//! sensibly.
+
+use fmm_core::{AdditionMethod, Options, Plan, Planner, Scheme, Workspace};
+use fmm_matrix::Matrix;
+use fmm_trace::{SpanKind, TraceSink};
+use std::sync::{Mutex, OnceLock};
+
+/// Tracing state (the enable gate and the rings) is process-global;
+/// serialize the tests that mutate it.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn plan_for(scheme: Scheme, dim: usize, steps: usize) -> Plan {
+    Planner::new()
+        .shape(dim, dim, dim)
+        .algorithm(&fmm_algo::strassen())
+        .steps(steps)
+        .options(Options {
+            scheme,
+            additions: AdditionMethod::WriteOnce,
+            ..Options::default()
+        })
+        .plan::<f64>()
+        .expect("trace test plan")
+}
+
+/// Run one traced multiply of `scheme` and return the sink plus the
+/// executor's own leaf counters.
+fn traced_run(scheme: Scheme, dim: usize, steps: usize) -> (TraceSink, u64, u64) {
+    let plan = plan_for(scheme, dim, steps);
+    let (a, b) = operands(dim);
+    let mut c = Matrix::zeros(dim, dim);
+    let mut ws = Workspace::for_plan(&plan);
+    fmm_trace::reset();
+    fmm_trace::set_enabled(true);
+    let snap = plan.execute_with_stats(&a, &b, &mut c, &mut ws);
+    fmm_trace::set_enabled(false);
+    (TraceSink::collect(), snap.base_gemms, snap.peel_gemms)
+}
+
+fn operands(dim: usize) -> (Matrix, Matrix) {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    (
+        Matrix::random(dim, dim, &mut rng),
+        Matrix::random(dim, dim, &mut rng),
+    )
+}
+
+#[test]
+fn gemm_span_counts_match_executor_counters() {
+    let _guard = trace_lock().lock().unwrap();
+    for scheme in [Scheme::Sequential, Scheme::Bfs, Scheme::Hybrid] {
+        let (sink, base_gemms, peel_gemms) = traced_run(scheme, 96, 1);
+        assert_eq!(
+            sink.count(SpanKind::BaseGemm),
+            base_gemms,
+            "{scheme:?}: every base-case gemm must emit exactly one span"
+        );
+        assert_eq!(
+            sink.count(SpanKind::PeelGemm),
+            peel_gemms,
+            "{scheme:?}: every peel gemm must emit exactly one span"
+        );
+        // Strassen at one step on an even square: 7 base gemms, no peel.
+        assert_eq!(base_gemms, 7, "{scheme:?}");
+        assert_eq!(peel_gemms, 0, "{scheme:?}");
+        assert!(
+            sink.count(SpanKind::Additions) > 0,
+            "{scheme:?}: the S/T formation phases must be spanned"
+        );
+        assert!(
+            sink.count(SpanKind::Combine) > 0,
+            "{scheme:?}: the M-combine must be spanned"
+        );
+    }
+}
+
+#[test]
+fn spans_are_well_formed_per_track() {
+    let _guard = trace_lock().lock().unwrap();
+    let (sink, _, _) = traced_run(Scheme::Hybrid, 128, 2);
+    let mut spans_seen = 0usize;
+    for track in &sink.tracks {
+        assert_eq!(
+            track.dropped, 0,
+            "a two-step 128³ multiply must fit the ring"
+        );
+        // Records are pushed at span *end*, so each track's stream is
+        // sorted by end time, every interval is sane, and — because a
+        // worker executes spans LIFO (a stolen task runs strictly
+        // inside the steal site's blocked span) — any two spans on one
+        // track either nest or are disjoint.
+        let mut last_end = 0u64;
+        let mut open: Vec<(u64, u64)> = Vec::new();
+        for rec in &track.records {
+            if rec.kind.is_instant() {
+                continue;
+            }
+            assert!(rec.t_end >= rec.t_start, "span ends before it starts");
+            assert!(rec.t_end >= last_end, "records out of end-time order");
+            last_end = rec.t_end;
+            spans_seen += 1;
+            // Pop every already-ended span that this one encloses,
+            // then check we don't *partially* overlap what remains.
+            while let Some(&(s, e)) = open.last() {
+                if rec.t_start <= s && rec.t_end >= e {
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(s, _)) = open.last() {
+                assert!(
+                    rec.t_start >= s,
+                    "span partially overlaps an earlier span on the same thread"
+                );
+            }
+            open.push((rec.t_start, rec.t_end));
+        }
+    }
+    assert!(spans_seen > 0, "the traced run must record spans");
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = trace_lock().lock().unwrap();
+    fmm_trace::reset();
+    fmm_trace::set_enabled(false);
+    let plan = plan_for(Scheme::Sequential, 64, 1);
+    let (a, b) = operands(64);
+    let mut c = Matrix::zeros(64, 64);
+    let mut ws = Workspace::for_plan(&plan);
+    plan.execute(&a, &b, &mut c, &mut ws);
+    let sink = TraceSink::collect();
+    for kind in SpanKind::ALL {
+        assert_eq!(sink.count(kind), 0, "{kind:?} recorded while disabled");
+    }
+}

@@ -180,6 +180,7 @@ impl Registry {
                 match self.deques[victim].steal() {
                     Steal::Success(job) => {
                         STEALS.fetch_add(1, Ordering::Relaxed);
+                        fmm_trace::event(fmm_trace::SpanKind::Steal, victim as u64);
                         return Some(job);
                     }
                     Steal::Retry => contended = true,
@@ -200,9 +201,11 @@ impl Registry {
         if !self.has_work() && !self.terminating.load(Ordering::Acquire) {
             let guard = self.sleep_mutex.lock().unwrap();
             if !self.has_work() && !self.terminating.load(Ordering::Acquire) {
+                let t_park = fmm_trace::span_start();
                 let _ = self
                     .sleep_cond
                     .wait_timeout(guard, Duration::from_millis(500));
+                fmm_trace::span_end(fmm_trace::SpanKind::Park, t_park, 0);
             }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -268,6 +271,7 @@ impl Registry {
 
 fn worker_main(registry: Arc<Registry>, index: usize) {
     WORKER.with(|w| w.set(Some((registry.addr(), index))));
+    fmm_trace::set_thread_label(&format!("fmm-worker-{index}"));
     loop {
         if let Some(job) = registry.find_work(index) {
             // Jobs handle their own panics (StackJob catches for the

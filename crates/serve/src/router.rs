@@ -93,6 +93,11 @@ struct RouterState {
     inflight: AtomicU64,
     draining: AtomicBool,
     shutdown: AtomicBool,
+    /// Router-observed latency of successful forwards, keyed
+    /// `"<shape-class>/<dtype>"`. Lives in the router process, so it
+    /// survives shard crashes and respawns — the fleet's crash-immune
+    /// tail-latency source.
+    hists: fmm_trace::HistogramSet,
 }
 
 impl RouterState {
@@ -125,7 +130,7 @@ impl RouterState {
 
     /// Aggregate the whole fleet into one snapshot document.
     fn fleet_stats(&self) -> FleetStats {
-        let slots = (0..self.sockets.len())
+        let slots: Vec<ShardSlotStats> = (0..self.sockets.len())
             .map(|i| {
                 let report = self.slot_report(i);
                 ShardSlotStats {
@@ -138,10 +143,13 @@ impl RouterState {
                 }
             })
             .collect();
+        let latency = FleetStats::merged_slot_latency(&slots);
         FleetStats {
             shards: self.sockets.len() as u64,
             router: self.counters(),
             slots,
+            latency,
+            router_latency: self.hists.snapshot(),
         }
     }
 }
@@ -237,6 +245,7 @@ fn forward_with_retry(
 
 /// Serve one client connection until it closes (or the router drains).
 fn handle_client(state: &Arc<RouterState>, stream: UnixStream) {
+    fmm_trace::set_thread_label("router-client");
     let _ = stream.set_read_timeout(Some(state.cfg.poll_tick));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let mut stream = stream;
@@ -271,10 +280,26 @@ fn handle_client(state: &Arc<RouterState>, stream: UnixStream) {
                 state.requests.fetch_add(1, Ordering::Relaxed);
                 state.inflight.fetch_add(1, Ordering::Relaxed);
                 let hash = shape_hash(m as usize, k as usize, n as usize, dtype);
+                let t_fwd = fmm_trace::now_ns();
                 let resp = forward_with_retry(state, &mut conns, &frame, id, hash);
                 match &resp {
                     Frame::MultiplyOk { .. } => {
                         state.completions.fetch_add(1, Ordering::Relaxed);
+                        let label = format!(
+                            "{}/{}",
+                            fmm_core::shape_class(m as usize, k as usize, n as usize),
+                            dtype.name()
+                        );
+                        state
+                            .hists
+                            .record(&label, fmm_trace::now_ns().saturating_sub(t_fwd));
+                        if fmm_trace::enabled() {
+                            fmm_trace::span_end(
+                                fmm_trace::SpanKind::RouterForward,
+                                t_fwd,
+                                (m as u64) * (k as u64) * (n as u64),
+                            );
+                        }
                     }
                     Frame::Error { code, .. } if code.retryable() => {
                         state.rejected.fetch_add(1, Ordering::Relaxed);
@@ -455,6 +480,7 @@ pub fn start_router(cfg: RouterConfig) -> io::Result<RunningRouter> {
         inflight: AtomicU64::new(0),
         draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
+        hists: fmm_trace::HistogramSet::new(),
     });
 
     let accept_state = Arc::clone(&state);

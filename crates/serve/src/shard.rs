@@ -166,6 +166,9 @@ fn run_engine<T: WireScalar>(
     a: &[u8],
     b: &[u8],
 ) -> Frame {
+    // Gate read once per RPC; the three phase spans share it.
+    let trace = fmm_trace::enabled();
+    let t_span = fmm_trace::now_if(trace);
     let a = match decode_matrix::<T>(m as usize, k as usize, a) {
         Ok(a) => a,
         Err(e) => return error(id, ErrorCode::Malformed, e.to_string()),
@@ -174,14 +177,35 @@ fn run_engine<T: WireScalar>(
         Ok(b) => b,
         Err(e) => return error(id, ErrorCode::Malformed, e.to_string()),
     };
-    match engine.multiply(&a, &b) {
-        Ok(c) => Frame::MultiplyOk {
-            id,
-            dtype: T::DTYPE,
-            m,
-            n: c.cols() as u32,
-            c: encode_matrix(&c),
-        },
+    fmm_trace::span_end(
+        fmm_trace::SpanKind::RpcDecode,
+        t_span,
+        (a.rows() * a.cols() + b.rows() * b.cols()) as u64,
+    );
+    let t_span = fmm_trace::now_if(trace);
+    let result = engine.multiply(&a, &b);
+    fmm_trace::span_end(
+        fmm_trace::SpanKind::RpcExecute,
+        t_span,
+        (m as u64) * (k as u64) * (n as u64),
+    );
+    match result {
+        Ok(c) => {
+            let t_span = fmm_trace::now_if(trace);
+            let encoded = encode_matrix(&c);
+            fmm_trace::span_end(
+                fmm_trace::SpanKind::RpcEncode,
+                t_span,
+                (c.rows() * c.cols()) as u64,
+            );
+            Frame::MultiplyOk {
+                id,
+                dtype: T::DTYPE,
+                m,
+                n: c.cols() as u32,
+                c: encoded,
+            }
+        }
         Err(e @ (EngineError::InnerDimMismatch { .. } | EngineError::OutputShape { .. })) => {
             error(id, ErrorCode::Shape, e.to_string())
         }
@@ -311,6 +335,7 @@ impl RunningShard {
 
 /// One connection's request loop.
 fn handle_connection(state: &Arc<ShardState>, mut stream: UnixStream) {
+    fmm_trace::set_thread_label("shard-conn");
     // Reads poll at the config tick so an idle connection notices a
     // drain promptly; writes get a generous bound so a stalled client
     // cannot wedge the handler forever.
@@ -377,9 +402,44 @@ fn handle_connection(state: &Arc<ShardState>, mut stream: UnixStream) {
     }
 }
 
+/// If `FMM_TRACE_DIR` is set, turn tracing on and keep a periodically
+/// refreshed Chrome-trace file in that directory, named
+/// `trace-shard-<pid>.json`. The flush is write-to-temp-then-rename,
+/// so a SIGKILL'd incarnation still leaves its most recent (≤ ~500 ms
+/// stale) complete snapshot behind for the load generator to merge.
+fn start_trace_flusher() -> Option<std::thread::JoinHandle<()>> {
+    let dir = PathBuf::from(std::env::var_os("FMM_TRACE_DIR")?);
+    let pid = std::process::id();
+    fmm_trace::set_process_label(&format!("shard-{pid}"));
+    fmm_trace::set_enabled(true);
+    let path = dir.join(format!("trace-shard-{pid}.json"));
+    let tmp = dir.join(format!(".trace-shard-{pid}.json.tmp"));
+    let flush = move || {
+        let json = fmm_trace::TraceSink::collect().export_chrome_json();
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    };
+    Some(std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_millis(500));
+        flush();
+    }))
+}
+
 /// Blocking main of a shard worker process: bind, serve, exit when
 /// drained. This is what the `fmm-shard` binary and the self-exec'd
 /// worker (see [`crate::maybe_run_shard_worker`]) call.
 pub fn shard_main(cfg: ShardConfig) -> io::Result<()> {
-    ShardServer::bind(cfg)?.run()
+    // The flusher thread is detached: it dies with the process, and
+    // clean exits below write one final up-to-date snapshot.
+    let tracing = start_trace_flusher().is_some();
+    let result = ShardServer::bind(cfg)?.run();
+    if tracing {
+        if let Some(dir) = std::env::var_os("FMM_TRACE_DIR") {
+            let pid = std::process::id();
+            let path = PathBuf::from(dir).join(format!("trace-shard-{pid}.json"));
+            let _ = std::fs::write(&path, fmm_trace::TraceSink::collect().export_chrome_json());
+        }
+    }
+    result
 }

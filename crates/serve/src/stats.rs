@@ -6,6 +6,7 @@
 //! tooling — reads one snapshot document for the whole fleet.
 
 use fmm_core::EngineStats;
+use fmm_trace::{merge_rows, merged_total, Histogram, HistogramRow};
 use serde::{Deserialize, Serialize, Value};
 
 /// One shard's self-report: serving-process counters plus the two
@@ -137,6 +138,17 @@ pub struct FleetStats {
     pub router: RouterCounters,
     /// Per-slot view, index == slot.
     pub slots: Vec<ShardSlotStats>,
+    /// Engine-side request latency histograms merged across every
+    /// *live* shard engine (both dtypes; rows keyed
+    /// `"<shape-class>/<dtype>"`). Histograms of killed incarnations
+    /// die with their process — the router-side view below survives
+    /// respawns.
+    pub latency: Vec<HistogramRow>,
+    /// Router-observed latency histograms of successful forwards
+    /// (request read to shard reply, retries and backoff included) —
+    /// the fleet's client-facing p50/p99/p999 source, immune to shard
+    /// crashes.
+    pub router_latency: Vec<HistogramRow>,
 }
 
 impl FleetStats {
@@ -167,6 +179,30 @@ impl FleetStats {
             })
             .sum()
     }
+
+    /// All engine-side latency rows collapsed into one histogram.
+    pub fn merged_engine_latency(&self) -> Histogram {
+        merged_total(&self.latency)
+    }
+
+    /// All router-side latency rows collapsed into one histogram —
+    /// quantiles of this are the fleet's true client-facing tails.
+    pub fn merged_router_latency(&self) -> Histogram {
+        merged_total(&self.router_latency)
+    }
+
+    /// Merge the engine latency rows of every live slot report —
+    /// how [`FleetStats::latency`] is built.
+    pub fn merged_slot_latency(slots: &[ShardSlotStats]) -> Vec<HistogramRow> {
+        let mut out = Vec::new();
+        for slot in slots {
+            if let Some(report) = &slot.report {
+                merge_rows(&mut out, &report.engine_f64.latency);
+                merge_rows(&mut out, &report.engine_f32.latency);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +210,16 @@ mod tests {
     use super::*;
 
     fn sample_engine_stats(multiplies: u64) -> EngineStats {
+        let mut hist = Histogram::new();
+        hist.record_n(1_500_000, multiplies); // ~1.5 ms per request
+        let latency = if multiplies > 0 {
+            vec![HistogramRow {
+                label: "p65-128/f64".to_string(),
+                hist,
+            }]
+        } else {
+            Vec::new()
+        };
         EngineStats {
             threads: 2,
             multiplies,
@@ -187,6 +233,7 @@ mod tests {
             base_gemms: 7 * multiplies,
             peel_gemms: 0,
             tasks_stolen: 3,
+            latency,
         }
     }
 
@@ -243,12 +290,24 @@ mod tests {
                     report: None,
                 },
             ],
+            latency: Vec::new(),
+            router_latency: Vec::new(),
+        };
+        let fleet = FleetStats {
+            latency: FleetStats::merged_slot_latency(&fleet.slots),
+            ..fleet
         };
         let back = FleetStats::from_json(&fleet.to_json()).unwrap();
         assert_eq!(fleet, back);
         // 60 live + 38 observed on the dead slot.
         assert_eq!(fleet.shard_multiplies(), 98);
         assert_eq!(fleet.shard_multiplies(), fleet.router.completions);
+        // Only the live slot contributes histograms; its 60 requests
+        // surface in the merged engine-side view.
+        assert_eq!(fleet.merged_engine_latency().count(), 60);
+        let p50 = fleet.merged_engine_latency().quantile(0.5);
+        assert!(p50.abs_diff(1_500_000) as f64 <= 1_500_000.0 * 0.25 + 1.0);
+        assert_eq!(fleet.merged_router_latency().count(), 0);
     }
 
     #[test]
@@ -268,6 +327,8 @@ mod tests {
                 ..Default::default()
             },
             slots: vec![slot],
+            latency: Vec::new(),
+            router_latency: Vec::new(),
         };
         // 10 from the live incarnation + 40 from the killed one.
         assert_eq!(fleet.shard_multiplies(), 50);

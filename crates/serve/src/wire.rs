@@ -66,6 +66,15 @@ impl WireDtype {
             WireDtype::F32 => 4,
         }
     }
+
+    /// Lowercase dtype label, matching `Scalar::NAME` — used as the
+    /// dtype half of histogram-row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireDtype::F64 => "f64",
+            WireDtype::F32 => "f32",
+        }
+    }
 }
 
 /// Scalars that can travel on the wire: a dtype tag plus lossless

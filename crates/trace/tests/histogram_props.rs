@@ -1,0 +1,113 @@
+//! Property tests for the log-bucketed histogram: merge is
+//! associative and commutative, bucket bounds are monotone, quantiles
+//! stay within the documented relative error bound of the exact
+//! sample quantile, and JSON round-trips bitwise.
+
+use fmm_trace::{
+    bucket_hi, bucket_index, bucket_lo, percentile_rank, Histogram, HistogramRow, NUM_BUCKETS,
+    RELATIVE_ERROR_BOUND,
+};
+use proptest::prelude::*;
+
+/// Deterministic value stream (SplitMix64) so each case is a
+/// reproducible multiset of latencies spanning ns..minutes.
+fn values(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        // Skew towards realistic latencies: modulo a power that
+        // varies by sample, covering every octave up to ~2^40.
+        out.push(z % (1u64 << (8 + (z % 33))));
+    }
+    out
+}
+
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(sa in 0u64..1000, sb in 0u64..1000, sc in 0u64..1000) {
+        let (a, b, c) = (hist_of(&values(sa, 50)), hist_of(&values(sb, 80)), hist_of(&values(sc, 30)));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_invert(v in 0u64..u64::MAX, w in 0u64..u64::MAX) {
+        let (lo_v, hi_v) = (v.min(w), v.max(w));
+        prop_assert!(bucket_index(lo_v) <= bucket_index(hi_v));
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v && v <= bucket_hi(i));
+    }
+
+    #[test]
+    fn quantile_within_bucket_error_bound(seed in 0u64..2000, n in 1usize..400, qi in 0u32..1001) {
+        let q = qi as f64 / 1000.0;
+        let vals = values(seed, n);
+        let h = hist_of(&vals);
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        let exact = sorted[percentile_rank(sorted.len(), q).unwrap()];
+        let est = h.quantile(q);
+        let bound = (exact as f64 * RELATIVE_ERROR_BOUND) as u64 + 1;
+        prop_assert!(
+            est.abs_diff(exact) <= bound,
+            "q={} est={} exact={} bound={}", q, est, exact, bound
+        );
+    }
+
+    #[test]
+    fn json_roundtrips_bitwise(seed in 0u64..2000, n in 0usize..200) {
+        let h = hist_of(&values(seed, n));
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        prop_assert_eq!(&back, &h);
+        // Quantiles survive the trip too (same buckets, same min/max).
+        prop_assert_eq!(back.quantile(0.5), h.quantile(0.5));
+        prop_assert_eq!(back.quantile(0.999), h.quantile(0.999));
+        let row = HistogramRow { label: "p97-128/f64".to_string(), hist: h };
+        let row_back: HistogramRow = serde_json::from_str(
+            &serde_json::to_string_pretty(&row).unwrap()
+        ).unwrap();
+        prop_assert_eq!(row_back, row);
+    }
+
+    #[test]
+    fn merge_distributes_over_quantile_support(sa in 0u64..1000, sb in 0u64..1000) {
+        // A merged histogram's quantile equals the quantile of a
+        // histogram built from the concatenated values: bucketing
+        // loses *where* in a bucket a value fell, never *which*
+        // bucket, so merge introduces no additional error.
+        let (va, vb) = (values(sa, 60), values(sb, 40));
+        let mut merged = hist_of(&va);
+        merged.merge(&hist_of(&vb));
+        let mut all = va;
+        all.extend_from_slice(&vb);
+        let direct = hist_of(&all);
+        prop_assert_eq!(&merged, &direct);
+    }
+}

@@ -104,6 +104,17 @@
 //! See the README's "Serving tier" section and
 //! `examples/serving_fleet.rs`.
 //!
+//! # Observability
+//!
+//! [`trace`] (`fmm-trace`) instruments the whole stack: every engine
+//! keeps always-on log-bucketed latency histograms per shape class and
+//! dtype (`EngineStats::latency`, merged fleet-wide into
+//! `serve::FleetStats`), and `trace::set_enabled(true)` turns on span
+//! recording — plan lookups, workspace checkouts, additions, base-case
+//! gemms, steals/parks, RPC phases — exportable as Chrome/Perfetto
+//! trace JSON or a textual per-worker timeline. See the README's
+//! "Observability" section.
+//!
 //! The high-level types are re-exported at the root — `use
 //! fast_matmul::{FmmEngine, Planner, Plan, Workspace, Options}` — so
 //! typical users never need the `fast_matmul::core::...` paths.
@@ -114,6 +125,7 @@ pub use fmm_matrix as matrix;
 pub use fmm_search as search;
 pub use fmm_serve as serve;
 pub use fmm_tensor as tensor;
+pub use fmm_trace as trace;
 pub use fmm_verify as verify;
 
 pub use fmm_core::{

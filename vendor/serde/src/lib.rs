@@ -58,6 +58,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Identity impls: parsing into `Value` itself gives callers the raw
+// self-describing tree (e.g. validating documents of unknown shape).
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize_value(&self) -> Value {
         Value::Bool(*self)
