@@ -49,6 +49,10 @@ pub enum PlanError {
     UnrepresentableCoefficient {
         /// The offending coefficient, as stored in the `.alg` data.
         value: f64,
+        /// The scheme it came from, e.g. `"<3,2,2> rank 10"` — APA
+        /// catalogs mix exact and border schemes, so the failing one
+        /// must be named for the error to be self-diagnosing.
+        scheme: String,
         /// The element type that rejected it.
         dtype: &'static str,
     },
@@ -71,9 +75,13 @@ impl std::fmt::Display for PlanError {
                 "steps({steps}) conflicts with schedule length {schedule_len}; \
                  the schedule length is authoritative"
             ),
-            PlanError::UnrepresentableCoefficient { value, dtype } => write!(
+            PlanError::UnrepresentableCoefficient {
+                value,
+                scheme,
+                dtype,
+            } => write!(
                 f,
-                "decomposition coefficient {value} is not representable in {dtype}"
+                "coefficient {value} of scheme {scheme} is not representable in {dtype}"
             ),
         }
     }
@@ -329,6 +337,7 @@ impl Planner {
                 LevelPlan::try_new(d, opts.cse).map_err(|value| {
                     PlanError::UnrepresentableCoefficient {
                         value,
+                        scheme: format!("<{},{},{}> rank {}", d.m, d.k, d.n, d.rank()),
                         dtype: T::NAME,
                     }
                 })

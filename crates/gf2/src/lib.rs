@@ -1,0 +1,59 @@
+//! # fmm-gf2 — the bit-packed GF(2) backend
+//!
+//! The Benson–Ballard framework is element-type agnostic: the recursion
+//! only needs a ring whose elements scale by the decomposition
+//! coefficients. This crate instantiates it over **GF(2)**, where the
+//! payoff is structural, not incremental — 64 matrix entries pack into
+//! one `u64` (~64× memory density), addition and subtraction collapse
+//! into XOR (characteristic 2: every element is its own negative), and
+//! the base case becomes the **Method of Four Russians** (M4RM), which
+//! replaces per-bit inner products with Gray-code combination-table
+//! lookups for an extra `≈ log₂ m` over word-parallel broadcast.
+//!
+//! Two integration paths, both exercised by the test suite:
+//!
+//! * **Generic seam** — [`Gf2`] implements [`fmm_matrix::Scalar`] and
+//!   [`fmm_gemm::GemmScalar`], so `DenseMatrix<Gf2>`,
+//!   `fmm_core::Planner::plan::<Gf2>()` and the whole float stack work
+//!   unchanged (one element per byte; correctness and plan-time
+//!   coefficient checking, not speed).
+//! * **Packed path** — [`Gf2Matrix`] + [`Gf2Planner`]/[`Gf2Plan`]:
+//!   word-packed storage, the M4RM kernel, Strassen recursion over the
+//!   `.alg` catalog, parallel rank fan-out on the `fmm-runtime` pool,
+//!   zero-alloc steady state via [`Gf2Workspace`], and `fmm-trace`
+//!   spans/histograms. This is the performance path.
+//!
+//! ## The coefficient-lift rule
+//!
+//! `.alg` files store scheme coefficients as `f64`. GF(2) can only
+//! represent their images mod 2, so [`Gf2`]'s `Scalar::from_coeff` (and the level
+//! lift in [`Gf2Planner`]) applies: **odd → 1, even → 0, fractional →
+//! error**. Exact integer schemes (Strassen's ±1/0) lift cleanly; APA
+//! border schemes (Bini ⟨3,2,2⟩, Schönhage ⟨3,3,3⟩) carry fractional
+//! fit coefficients and are rejected at *plan* time with
+//! [`fmm_core::PlanError::UnrepresentableCoefficient`] naming the
+//! scheme and the offending value — never a silently wrong answer.
+//!
+//! ## XOR vs OR: two semirings
+//!
+//! GF(2) multiply counts paths **mod 2** — for boolean reachability
+//! that is the wrong algebra (two distinct paths would cancel). The
+//! packed type therefore ships both products: [`Gf2Matrix::mul_m4rm`]
+//! (XOR accumulation, a ring — Strassen applies) and
+//! [`Gf2Matrix::or_mul`] (OR accumulation, the OR–AND semiring —
+//! no subtraction, so no Strassen, but M4RM still applies with a
+//! clear-lowest-bit table construction). `examples/reachability.rs`
+//! builds transitive closures on the OR path.
+
+#![forbid(unsafe_code)]
+
+mod elem;
+mod m4rm;
+mod matrix;
+mod plan;
+
+pub use elem::Gf2;
+pub use matrix::{Gf2Matrix, WORD_BITS};
+pub use plan::{
+    latency_histograms, measure_m4rm_profile, Gf2Plan, Gf2Planner, Gf2Workspace, GF2_CUTOFF_BITS,
+};

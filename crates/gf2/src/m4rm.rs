@@ -1,0 +1,326 @@
+//! M4RM — the Method of Four Russians for matrix multiplication.
+//!
+//! The classical word-parallel product costs `m·k` row-XORs (one per set
+//! bit of `A`). M4RM instead processes `A`'s columns in groups of `kb`
+//! bits: for each group it precomputes all `2^kb` XOR-combinations of
+//! the corresponding `kb` rows of `B` (a *combination table*), then each
+//! row of `A` contributes one table lookup + one row-XOR per group —
+//! `m·k/kb` row-ops plus `2^kb·k/kb` table-build row-ops, an asymptotic
+//! `kb ≈ log₂ m` speedup over the broadcast baseline.
+//!
+//! Two table constructions share the code path:
+//!
+//! * **XOR mode** (GF(2)): tables are filled in Gray-code order — entry
+//!   `g = idx ^ (idx >> 1)` differs from its predecessor in exactly one
+//!   bit, so each entry is one row-XOR from the previous.
+//! * **OR mode** (boolean OR–AND semiring, used by transitive closure):
+//!   Gray stepping is impossible (OR cannot *remove* a bit), so entries
+//!   build by clearing the lowest set bit: `table[idx] =
+//!   table[idx & (idx−1)] | B.row(lsb(idx))` — still one row-op each.
+//!
+//! Several tables are built per pass ([`TABLES_PER_PASS`]) so each
+//! sweep over `A`'s rows retires `TABLES_PER_PASS · kb` columns of `k`,
+//! amortizing the traffic on `C`'s rows.
+//!
+//! The kernel is *accumulating* (`C ⊕= A·B` or `C |= A·B`) and works on
+//! raw word slices with explicit strides, so the Strassen recursion in
+//! [`crate::Gf2Plan`] can point it at word-aligned blocks of arena
+//! buffers with zero copies. Scratch for the tables is caller-provided
+//! for the same reason.
+
+use crate::matrix::{Gf2Matrix, WORD_BITS};
+
+/// Combination tables built per pass over `A`'s rows.
+pub(crate) const TABLES_PER_PASS: usize = 4;
+
+/// Upper bound on the group width `kb` (table size `2^kb` rows).
+pub(crate) const MAX_KB: usize = 8;
+
+/// Group width for an `m × k` multiply: `≈ log₂ m − 2`, clamped to
+/// `[1, MAX_KB]` and to `k`. The `−2` biases toward smaller tables —
+/// table build cost `2^kb` must stay well under `m` lookups per group.
+pub(crate) fn choose_kb(m: usize, k: usize) -> usize {
+    let log2m = (usize::BITS - m.max(1).leading_zeros()) as usize;
+    log2m.saturating_sub(2).clamp(1, MAX_KB).min(k.max(1))
+}
+
+/// Scratch words needed by [`m4rm_acc`] for a `kb`-bit kernel writing
+/// `nw`-word rows.
+pub(crate) fn scratch_words(kb: usize, nw: usize) -> usize {
+    TABLES_PER_PASS * (1usize << kb) * nw
+}
+
+/// Extract `nbits ≤ 64` bits of `row` starting at bit `start`
+/// (LSB-first packing; may straddle one word boundary).
+#[inline]
+fn extract_bits(row: &[u64], start: usize, nbits: usize) -> usize {
+    let w = start / WORD_BITS;
+    let o = start % WORD_BITS;
+    let mut v = row[w] >> o;
+    if o + nbits > WORD_BITS {
+        // Straddle: o ≥ 57 here (nbits ≤ 8), so 64 − o is a valid shift.
+        v |= row[w + 1] << (WORD_BITS - o);
+    }
+    (v & ((1u64 << nbits) - 1)) as usize
+}
+
+/// Accumulating M4RM product over packed words.
+///
+/// Computes `C ⊕= A·B` (`or_mode = false`, GF(2)) or `C |= A·B`
+/// (`or_mode = true`, boolean semiring), where `A` is `m` rows × `k`
+/// bits at `a_stride` words/row, `B` is `k` rows × `nw` words at
+/// `b_stride`, and `C` is `m` rows × `nw` words at `c_stride`. Rows of
+/// `B` and `C` must be exactly `nw` valid words (callers keep padding
+/// bits zero). `scratch` must hold at least
+/// [`scratch_words`]`(kb, nw)` words; its contents on entry are
+/// irrelevant.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn m4rm_acc(
+    c: &mut [u64],
+    c_stride: usize,
+    a: &[u64],
+    a_stride: usize,
+    b: &[u64],
+    b_stride: usize,
+    m: usize,
+    k: usize,
+    nw: usize,
+    kb: usize,
+    scratch: &mut [u64],
+    or_mode: bool,
+) {
+    if m == 0 || k == 0 || nw == 0 {
+        return;
+    }
+    debug_assert!((1..=MAX_KB).contains(&kb));
+    debug_assert!(scratch.len() >= scratch_words(kb, nw));
+    let tbl_rows = 1usize << kb;
+    let tbl_words = tbl_rows * nw;
+
+    let mut k0 = 0;
+    while k0 < k {
+        // This pass covers bits k0 .. k0 + Σ bits_t of the k dimension,
+        // one table per kb-bit group (the last group may be narrower).
+        let mut widths = [0usize; TABLES_PER_PASS];
+        let mut ntab = 0;
+        let mut covered = 0;
+        while ntab < TABLES_PER_PASS && k0 + covered < k {
+            widths[ntab] = kb.min(k - k0 - covered);
+            covered += widths[ntab];
+            ntab += 1;
+        }
+
+        // Build the tables for this pass.
+        let mut s = k0;
+        for (t, &bits) in widths.iter().enumerate().take(ntab) {
+            let tbl = &mut scratch[t * tbl_words..(t + 1) * tbl_words];
+            tbl[..nw].fill(0);
+            for idx in 1..(1usize << bits) {
+                let low = idx.trailing_zeros() as usize;
+                let brow = &b[(s + low) * b_stride..(s + low) * b_stride + nw];
+                if or_mode {
+                    // Clear-lowest-bit recurrence: idx & (idx − 1) is
+                    // already filled (it is smaller than idx).
+                    let prev = idx & (idx - 1);
+                    for w in 0..nw {
+                        tbl[idx * nw + w] = tbl[prev * nw + w] | brow[w];
+                    }
+                } else {
+                    // Gray-code walk: entry g(idx) toggles exactly bit
+                    // `low` relative to g(idx − 1).
+                    let g = idx ^ (idx >> 1);
+                    let prev = (idx - 1) ^ ((idx - 1) >> 1);
+                    for w in 0..nw {
+                        tbl[g * nw + w] = tbl[prev * nw + w] ^ brow[w];
+                    }
+                }
+            }
+            s += bits;
+        }
+
+        // Sweep A's rows once, retiring all `covered` columns.
+        for i in 0..m {
+            let arow = &a[i * a_stride..i * a_stride + a_stride];
+            let crow = &mut c[i * c_stride..i * c_stride + nw];
+            let mut s = k0;
+            for (t, &bits) in widths.iter().enumerate().take(ntab) {
+                let idx = extract_bits(arow, s, bits);
+                if idx != 0 {
+                    let trow = &scratch[t * tbl_words + idx * nw..t * tbl_words + (idx + 1) * nw];
+                    if or_mode {
+                        for (cd, &tv) in crow.iter_mut().zip(trow) {
+                            *cd |= tv;
+                        }
+                    } else {
+                        for (cd, &tv) in crow.iter_mut().zip(trow) {
+                            *cd ^= tv;
+                        }
+                    }
+                }
+                s += bits;
+            }
+        }
+
+        k0 += covered;
+    }
+}
+
+impl Gf2Matrix {
+    /// GF(2) product `A·B` via the M4RM kernel (fresh scratch; the
+    /// zero-alloc path is [`crate::Gf2Plan::execute`]).
+    ///
+    /// # Panics
+    /// Panics when `self.cols() != rhs.rows()`.
+    pub fn mul_m4rm(&self, rhs: &Gf2Matrix) -> Gf2Matrix {
+        self.m4rm_convenience(rhs, false)
+    }
+
+    /// Boolean OR–AND semiring product `A·B` via M4RM — the transitive-
+    /// closure kernel (XOR would cancel even path counts).
+    ///
+    /// # Panics
+    /// Panics when `self.cols() != rhs.rows()`.
+    pub fn or_mul(&self, rhs: &Gf2Matrix) -> Gf2Matrix {
+        self.m4rm_convenience(rhs, true)
+    }
+
+    fn m4rm_convenience(&self, rhs: &Gf2Matrix, or_mode: bool) -> Gf2Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "mul: inner dimension mismatch ({}x{} · {}x{})",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let mut c = Gf2Matrix::zeros(self.rows(), rhs.cols());
+        let kb = choose_kb(self.rows(), self.cols());
+        let nw = c.stride();
+        let mut scratch = vec![0u64; scratch_words(kb, nw)];
+        let (m, k) = (self.rows(), self.cols());
+        let (a_stride, b_stride, c_stride) = (self.stride(), rhs.stride(), c.stride());
+        m4rm_acc(
+            c.words_mut(),
+            c_stride,
+            self.words(),
+            a_stride,
+            rhs.words(),
+            b_stride,
+            m,
+            k,
+            nw,
+            kb,
+            &mut scratch,
+            or_mode,
+        );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kb_heuristic_bounds() {
+        assert_eq!(choose_kb(1, 1), 1);
+        assert_eq!(choose_kb(0, 0), 1);
+        assert!(choose_kb(64, 64) >= 3);
+        assert_eq!(choose_kb(1 << 20, 1 << 20), MAX_KB);
+        // Never wider than k.
+        assert_eq!(choose_kb(1 << 20, 3), 3);
+    }
+
+    #[test]
+    fn extract_bits_straddles_words() {
+        let row = [0xF000_0000_0000_0000u64, 0b1011];
+        // Bits 60..68 = high nibble of word 0 (all ones) then 0b1011.
+        assert_eq!(extract_bits(&row, 60, 8), 0b1011_1111);
+        assert_eq!(extract_bits(&row, 0, 4), 0);
+        assert_eq!(extract_bits(&row, 64, 4), 0b1011);
+    }
+
+    #[test]
+    fn m4rm_matches_naive_across_shapes_and_kb() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [
+            (1, 1, 1),
+            (5, 9, 3),
+            (33, 65, 129),
+            (40, 200, 70),
+            (64, 64, 64),
+        ] {
+            let a = Gf2Matrix::random(m, k, &mut rng);
+            let b = Gf2Matrix::random(k, n, &mut rng);
+            assert_eq!(a.mul_m4rm(&b), a.mul_naive(&b), "xor {m}x{k}x{n}");
+            assert_eq!(a.or_mul(&b), a.or_mul_naive(&b), "or {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn m4rm_every_kb_width() {
+        // Force each group width 1..=8 through the raw kernel.
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, k, n) = (13, 47, 90);
+        let a = Gf2Matrix::random(m, k, &mut rng);
+        let b = Gf2Matrix::random(k, n, &mut rng);
+        let want = a.mul_naive(&b);
+        let or_want = a.or_mul_naive(&b);
+        for kb in 1..=MAX_KB {
+            for &or_mode in &[false, true] {
+                let mut c = Gf2Matrix::zeros(m, n);
+                let mut scratch = vec![0u64; scratch_words(kb, c.stride())];
+                let (cs, nw) = (c.stride(), c.stride());
+                m4rm_acc(
+                    c.words_mut(),
+                    cs,
+                    a.words(),
+                    a.stride(),
+                    b.words(),
+                    b.stride(),
+                    m,
+                    k,
+                    nw,
+                    kb,
+                    &mut scratch,
+                    or_mode,
+                );
+                let want = if or_mode { &or_want } else { &want };
+                assert_eq!(&c, want, "kb={kb} or={or_mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_contract() {
+        // C starts nonzero: XOR mode must fold into it, not overwrite.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (m, k, n) = (10, 30, 20);
+        let a = Gf2Matrix::random(m, k, &mut rng);
+        let b = Gf2Matrix::random(k, n, &mut rng);
+        let mut c = Gf2Matrix::random(m, n, &mut rng);
+        let mut want = c.clone();
+        want.xor_assign(&a.mul_naive(&b));
+        let kb = 3;
+        let mut scratch = vec![0u64; scratch_words(kb, c.stride())];
+        let (cs, nw) = (c.stride(), c.stride());
+        m4rm_acc(
+            c.words_mut(),
+            cs,
+            a.words(),
+            a.stride(),
+            b.words(),
+            b.stride(),
+            m,
+            k,
+            nw,
+            kb,
+            &mut scratch,
+            false,
+        );
+        assert_eq!(c, want);
+    }
+}

@@ -1,0 +1,877 @@
+//! Strassen recursion over the packed M4RM kernel: [`Gf2Planner`] →
+//! [`Gf2Plan`] → [`Gf2Plan::execute`] against a [`Gf2Workspace`].
+//!
+//! This mirrors the float stack's plan/execute discipline on the packed
+//! representation (bit-packing cannot flow through `DenseMatrix<T>` —
+//! 64 entries share a word), while **reusing** the existing machinery
+//! rather than duplicating it:
+//!
+//! * the `.alg` catalog supplies the schemes, lifted mod 2 per rank
+//!   column (odd → include the block, even → drop it, fractional →
+//!   [`PlanError::UnrepresentableCoefficient`] — the same rule as
+//!   [`Gf2::from_coeff`], applied through it);
+//! * depth selection reuses [`fmm_core::GemmProfile`]'s §3.4 cutoff
+//!   rule via [`Gf2Planner::profile`] (feed it M4RM word-op rates from
+//!   [`measure_m4rm_profile`]), with a fixed bit-size cutoff fallback;
+//! * recursive products fan out over the `fmm-runtime` work-stealing
+//!   pool (`scope` + per-rank tasks, like the executor's BFS scheme);
+//! * every temporary is carved from a [`Gf2Workspace`] arena whose
+//!   exact word footprint is computed at plan time, so steady-state
+//!   multiplies are zero-alloc;
+//! * leaves and block ops emit `fmm-trace` spans (`Additions`,
+//!   `BaseGemm`, `Combine` — the same kinds the float executor uses, so
+//!   `timeshare`/`trace-check` tooling applies unchanged) and per
+//!   shape-class latency histograms ([`latency_histograms`]).
+//!
+//! Padding: operands are copied once into arena buffers rounded up so
+//! that every recursive split is word-aligned (`k` and `n` to
+//! `64·Π(level k/n)`, `m` to `Π(level m)`); all recursion below that
+//! runs on word-aligned views with zero copies, and depth-0 plans skip
+//! the copy entirely.
+
+use crate::m4rm::{choose_kb, m4rm_acc, scratch_words};
+use crate::matrix::{tail_mask, Gf2Matrix, WORD_BITS};
+use crate::Gf2;
+use fmm_core::{GemmProfile, PlanError};
+use fmm_gemm::classical_flops;
+use fmm_matrix::Scalar;
+use fmm_tensor::Decomposition;
+use fmm_trace::{now_if, span_end, HistogramRow, HistogramSet, SpanKind};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Fallback recursion cutoff (bits): without a measured profile, take a
+/// Strassen step only while the *smallest* problem dimension stays at
+/// or above this after the split. Below ~1k bits the O(n²) block XORs
+/// rival the saved eighth of the M4RM word-ops.
+pub const GF2_CUTOFF_BITS: usize = 1024;
+
+/// One recursion level of a scheme, lifted mod 2: per rank column `r`,
+/// the block indices whose coefficient is odd. `S_r` is the XOR of the
+/// listed A blocks, `T_r` of the listed B blocks, and `M_r` feeds the
+/// listed C blocks — coefficients vanish entirely, which is what makes
+/// GF(2) execution pure word ops.
+#[derive(Debug, Clone)]
+struct Gf2Level {
+    m: usize,
+    k: usize,
+    n: usize,
+    rank: usize,
+    u: Vec<Vec<usize>>,
+    v: Vec<Vec<usize>>,
+    w: Vec<Vec<usize>>,
+}
+
+impl Gf2Level {
+    /// Lift a decomposition mod 2. `Err` carries the first coefficient
+    /// [`Gf2::from_coeff`] rejects (fractional or non-finite).
+    fn lift(dec: &Decomposition) -> Result<Self, f64> {
+        let lift_factor = |mat: &fmm_matrix::Matrix| -> Result<Vec<Vec<usize>>, f64> {
+            (0..dec.rank())
+                .map(|r| {
+                    let mut rows = Vec::new();
+                    for row in 0..mat.rows() {
+                        let c = mat[(row, r)];
+                        match Gf2::from_coeff(c) {
+                            None => return Err(c),
+                            Some(g) if g == Gf2::ONE => rows.push(row),
+                            Some(_) => {}
+                        }
+                    }
+                    Ok(rows)
+                })
+                .collect()
+        };
+        Ok(Gf2Level {
+            m: dec.m,
+            k: dec.k,
+            n: dec.n,
+            rank: dec.rank(),
+            u: lift_factor(&dec.u)?,
+            v: lift_factor(&dec.v)?,
+            w: lift_factor(&dec.w)?,
+        })
+    }
+}
+
+/// Builder for [`Gf2Plan`] — the packed-representation sibling of
+/// [`fmm_core::Planner`].
+pub struct Gf2Planner {
+    shape: Option<(usize, usize, usize)>,
+    algorithm: Option<Decomposition>,
+    steps: Option<usize>,
+    max_steps: usize,
+    profile: Option<GemmProfile>,
+}
+
+impl Default for Gf2Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf2Planner {
+    /// A planner with no shape; [`Gf2Planner::shape`] is mandatory.
+    pub fn new() -> Self {
+        Gf2Planner {
+            shape: None,
+            algorithm: None,
+            steps: None,
+            max_steps: 3,
+            profile: None,
+        }
+    }
+
+    /// Problem shape in **bits**: `C (m×n) = A (m×k) · B (k×n)`.
+    pub fn shape(mut self, m: usize, k: usize, n: usize) -> Self {
+        self.shape = Some((m, k, n));
+        self
+    }
+
+    /// The scheme to recurse with (default: `fmm_algo::strassen()`).
+    /// Must lift mod 2 — APA schemes with fractional coefficients fail
+    /// at [`Gf2Planner::plan`] time with a named-scheme error.
+    pub fn algorithm(mut self, dec: &Decomposition) -> Self {
+        self.algorithm = Some(dec.clone());
+        self
+    }
+
+    /// Force an exact recursion depth (0 = plain M4RM, no recursion).
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Depth ceiling for automatic selection (default 3).
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Pick the depth with the §3.4 cutoff rule against a measured
+    /// M4RM rate profile (see [`measure_m4rm_profile`]) instead of the
+    /// fixed [`GF2_CUTOFF_BITS`] heuristic.
+    pub fn profile(mut self, profile: GemmProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Build the immutable plan: lift the scheme mod 2, choose the
+    /// depth, and precompute padded dims and the exact arena footprint.
+    pub fn plan(self) -> Result<Gf2Plan, PlanError> {
+        let (m, k, n) = self.shape.ok_or(PlanError::MissingShape)?;
+        let dec = self.algorithm.unwrap_or_else(fmm_algo::strassen);
+        let scheme = format!("<{},{},{}> rank {}", dec.m, dec.k, dec.n, dec.rank());
+        let level =
+            Gf2Level::lift(&dec).map_err(|value| PlanError::UnrepresentableCoefficient {
+                value,
+                scheme: scheme.clone(),
+                dtype: Gf2::NAME,
+            })?;
+
+        let min_dim = m.min(k).min(n);
+        let shrink = dec.m.max(dec.k).max(dec.n).max(1);
+        let depth = match (self.steps, &self.profile) {
+            (Some(s), _) => s,
+            (None, Some(p)) => p.recommended_steps(&dec, min_dim, self.max_steps),
+            (None, None) => {
+                let mut steps = 0;
+                let mut cur = min_dim;
+                while steps < self.max_steps && cur / shrink >= GF2_CUTOFF_BITS {
+                    cur /= shrink;
+                    steps += 1;
+                }
+                steps
+            }
+        };
+
+        let levels = vec![level; depth];
+        // Padded dims: every split word-aligned in k and n, exact in m.
+        let (mut mm, mut kk, mut nn) = (1usize, WORD_BITS, WORD_BITS);
+        for lv in &levels {
+            mm *= lv.m;
+            kk *= lv.k;
+            nn *= lv.n;
+        }
+        let round_up = |x: usize, q: usize| x.div_ceil(q.max(1)) * q.max(1);
+        let (pm, pk, pn) = if depth == 0 {
+            (m, k, n)
+        } else {
+            (round_up(m, mm), round_up(k, kk), round_up(n, nn))
+        };
+
+        // Parallel fan-out depth from the pool width at plan time: one
+        // level of rank-way tasks saturates up to rank workers, two
+        // levels up to rank².
+        let width = fmm_runtime::current_num_threads();
+        let rank = levels.first().map_or(1, |l| l.rank);
+        let par_levels = if width <= 1 {
+            0
+        } else if width <= rank {
+            1.min(depth)
+        } else {
+            2.min(depth)
+        };
+
+        let mut workspace_words = rec_words(&levels, 0, par_levels, pm, pk, pn);
+        if depth > 0 {
+            workspace_words += pm * (pk / WORD_BITS) // padded A
+                + pk * (pn / WORD_BITS) // padded B
+                + pm * (pn / WORD_BITS); // padded C
+        }
+
+        Ok(Gf2Plan {
+            m,
+            k,
+            n,
+            pm,
+            pk,
+            pn,
+            levels,
+            par_levels,
+            workspace_words,
+            scheme,
+        })
+    }
+}
+
+/// An immutable GF(2) multiply plan: lifted levels, padded geometry,
+/// parallel fan-out depth, and the exact arena footprint.
+#[derive(Debug)]
+pub struct Gf2Plan {
+    m: usize,
+    k: usize,
+    n: usize,
+    pm: usize,
+    pk: usize,
+    pn: usize,
+    levels: Vec<Gf2Level>,
+    par_levels: usize,
+    workspace_words: usize,
+    scheme: String,
+}
+
+impl Gf2Plan {
+    /// Recursion depth (0 = plain M4RM).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Exact arena footprint in words.
+    pub fn workspace_words(&self) -> usize {
+        self.workspace_words
+    }
+
+    /// Levels executed as rank-way parallel fan-outs (the rest run
+    /// sequentially inside their task).
+    pub fn parallel_levels(&self) -> usize {
+        self.par_levels
+    }
+
+    /// The scheme label, e.g. `"<2,2,2> rank 7"`.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// `C = A·B` into a fresh matrix.
+    ///
+    /// # Panics
+    /// Panics when the operand shapes disagree with the planned shape.
+    pub fn execute(&self, a: &Gf2Matrix, b: &Gf2Matrix, ws: &mut Gf2Workspace) -> Gf2Matrix {
+        let mut c = Gf2Matrix::zeros(self.m, self.n);
+        self.execute_into(a, b, &mut c, ws);
+        c
+    }
+
+    /// `C = A·B` into a caller-provided matrix (contents overwritten).
+    ///
+    /// # Panics
+    /// Panics when the operand shapes disagree with the planned shape.
+    pub fn execute_into(
+        &self,
+        a: &Gf2Matrix,
+        b: &Gf2Matrix,
+        c: &mut Gf2Matrix,
+        ws: &mut Gf2Workspace,
+    ) {
+        assert_eq!(
+            (a.rows(), a.cols()),
+            (self.m, self.k),
+            "A shape disagrees with plan"
+        );
+        assert_eq!(
+            (b.rows(), b.cols()),
+            (self.k, self.n),
+            "B shape disagrees with plan"
+        );
+        assert_eq!(
+            (c.rows(), c.cols()),
+            (self.m, self.n),
+            "C shape disagrees with plan"
+        );
+        let t_req = fmm_trace::now_ns();
+        let tracing = fmm_trace::enabled();
+        let buf = ws.checkout(self.workspace_words);
+
+        if self.m == 0 || self.n == 0 {
+            return;
+        }
+        if self.depth() == 0 || self.k == 0 {
+            // Direct M4RM on the operands; no padding, no copies.
+            c.words_mut().fill(0);
+            let (m, k) = (self.m, self.k);
+            let (asw, bsw, csw) = (a.stride(), b.stride(), c.stride());
+            let nw = c.stride();
+            if k > 0 {
+                let t0 = now_if(tracing);
+                let kb = choose_kb(m, k);
+                m4rm_acc(
+                    c.words_mut(),
+                    csw,
+                    a.words(),
+                    asw,
+                    b.words(),
+                    bsw,
+                    m,
+                    k,
+                    nw,
+                    kb,
+                    &mut buf[..scratch_words(kb, nw)],
+                    false,
+                );
+                span_end(SpanKind::BaseGemm, t0, (m * k * nw) as u64);
+            }
+        } else {
+            let (pkw, pnw) = (self.pk / WORD_BITS, self.pn / WORD_BITS);
+            let (a_words, b_words, c_words) = (self.pm * pkw, self.pk * pnw, self.pm * pnw);
+            let (abuf, rest) = buf.split_at_mut(a_words);
+            let (bbuf, rest) = rest.split_at_mut(b_words);
+            let (cbuf, arena) = rest.split_at_mut(c_words);
+            copy_in(abuf, pkw, a);
+            copy_in(bbuf, pnw, b);
+            cbuf.fill(0);
+            rec(
+                &self.levels,
+                0,
+                self.par_levels,
+                self.pm,
+                self.pk,
+                self.pn,
+                abuf,
+                pkw,
+                bbuf,
+                pnw,
+                cbuf,
+                pnw,
+                arena,
+                tracing,
+            );
+            copy_out(c, cbuf, pnw);
+        }
+
+        hists().record(
+            &format!(
+                "{}/{}",
+                fmm_core::shape_class(self.m, self.k, self.n),
+                Gf2::NAME
+            ),
+            fmm_trace::now_ns().saturating_sub(t_req),
+        );
+    }
+}
+
+/// Reusable word arena for [`Gf2Plan::execute`]: grows monotonically,
+/// so a workspace sized once (e.g. via [`Gf2Workspace::for_plan`])
+/// makes every subsequent execute allocation-free.
+#[derive(Default)]
+pub struct Gf2Workspace {
+    buf: Vec<u64>,
+}
+
+impl Gf2Workspace {
+    /// An empty workspace (grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `plan`.
+    pub fn for_plan(plan: &Gf2Plan) -> Self {
+        Gf2Workspace {
+            buf: vec![0; plan.workspace_words()],
+        }
+    }
+
+    /// Current capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn checkout(&mut self, words: usize) -> &mut [u64] {
+        if self.buf.len() < words {
+            self.buf.resize(words, 0);
+        }
+        &mut self.buf[..words]
+    }
+}
+
+/// Exact arena words for the recursion at `depth` on a (padded)
+/// `mbits × kbits × nbits` problem. Parallel levels hold all `rank`
+/// task chunks live at once; sequential levels reuse one chunk.
+fn rec_words(
+    levels: &[Gf2Level],
+    depth: usize,
+    par_levels: usize,
+    mbits: usize,
+    kbits: usize,
+    nbits: usize,
+) -> usize {
+    if depth == levels.len() {
+        let kb = choose_kb(mbits, kbits.max(1));
+        return scratch_words(kb, nbits.div_ceil(WORD_BITS));
+    }
+    let lv = &levels[depth];
+    let (sm, sk, sn) = (mbits / lv.m, kbits / lv.k, nbits / lv.n);
+    let (skw, snw) = (sk / WORD_BITS, sn / WORD_BITS);
+    let chunk =
+        sm * skw + sk * snw + sm * snw + rec_words(levels, depth + 1, par_levels, sm, sk, sn);
+    if depth < par_levels {
+        lv.rank * chunk
+    } else {
+        chunk
+    }
+}
+
+/// Copy a packed matrix into a zeroed padded buffer (`stride_w` words
+/// per row); padding rows/words stay zero, preserving the zero-tail
+/// invariant blockwise.
+fn copy_in(dst: &mut [u64], stride_w: usize, src: &Gf2Matrix) {
+    dst.fill(0);
+    let sw = src.stride();
+    for i in 0..src.rows() {
+        dst[i * stride_w..i * stride_w + sw].copy_from_slice(src.row_words(i));
+    }
+}
+
+/// Copy the top-left `dst.rows() × dst.cols()` corner of the padded
+/// result out, masking the final word of each row.
+fn copy_out(dst: &mut Gf2Matrix, src: &[u64], stride_w: usize) {
+    let dw = dst.stride();
+    let mask = tail_mask(dst.cols());
+    for i in 0..dst.rows() {
+        let row = dst.row_words_mut(i);
+        row.copy_from_slice(&src[i * stride_w..i * stride_w + dw]);
+        row[dw - 1] &= mask;
+    }
+}
+
+/// XOR-gather the listed blocks of `src` into a contiguous
+/// `sub_rows × sub_w` buffer (the S/T operand formation — the paper's
+/// "additions", which over GF(2) are pure word XORs).
+fn gather_xor(
+    dst: &mut [u64],
+    src: &[u64],
+    src_stride: usize,
+    blocks: &[usize],
+    block_cols: usize,
+    sub_rows: usize,
+    sub_w: usize,
+) {
+    let mut first = true;
+    for &bidx in blocks {
+        let (bi, bj) = (bidx / block_cols, bidx % block_cols);
+        for i in 0..sub_rows {
+            let off = (bi * sub_rows + i) * src_stride + bj * sub_w;
+            let srow = &src[off..off + sub_w];
+            let drow = &mut dst[i * sub_w..(i + 1) * sub_w];
+            if first {
+                drow.copy_from_slice(srow);
+            } else {
+                for (d, &s) in drow.iter_mut().zip(srow) {
+                    *d ^= s;
+                }
+            }
+        }
+        first = false;
+    }
+}
+
+/// XOR a contiguous `rows × w` buffer into block `(bi, bj)` of `dst`.
+fn scatter_xor(
+    dst: &mut [u64],
+    dst_stride: usize,
+    bi: usize,
+    bj: usize,
+    src: &[u64],
+    rows: usize,
+    w: usize,
+) {
+    for i in 0..rows {
+        let off = (bi * rows + i) * dst_stride + bj * w;
+        for (d, &s) in dst[off..off + w].iter_mut().zip(&src[i * w..(i + 1) * w]) {
+            *d ^= s;
+        }
+    }
+}
+
+/// The recursion: `C ^= A·B` on word-aligned views.
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    levels: &[Gf2Level],
+    depth: usize,
+    par_levels: usize,
+    mbits: usize,
+    kbits: usize,
+    nbits: usize,
+    a: &[u64],
+    asw: usize,
+    b: &[u64],
+    bsw: usize,
+    c: &mut [u64],
+    csw: usize,
+    arena: &mut [u64],
+    tracing: bool,
+) {
+    let nw = nbits.div_ceil(WORD_BITS);
+    if depth == levels.len() {
+        let t0 = now_if(tracing);
+        let kb = choose_kb(mbits, kbits);
+        m4rm_acc(
+            c,
+            csw,
+            a,
+            asw,
+            b,
+            bsw,
+            mbits,
+            kbits,
+            nw,
+            kb,
+            &mut arena[..scratch_words(kb, nw)],
+            false,
+        );
+        span_end(SpanKind::BaseGemm, t0, (mbits * kbits * nw) as u64);
+        return;
+    }
+
+    let lv = &levels[depth];
+    let (sm, sk, sn) = (mbits / lv.m, kbits / lv.k, nbits / lv.n);
+    let (skw, snw) = (sk / WORD_BITS, sn / WORD_BITS);
+    let (s_w, t_w, m_w) = (sm * skw, sk * snw, sm * snw);
+    let chunk_words = s_w + t_w + m_w + rec_words(levels, depth + 1, par_levels, sm, sk, sn);
+
+    // One rank product into its chunk: S_r = ⊕ A-blocks, T_r = ⊕
+    // B-blocks, M_r = S_r·T_r (recursive). A rank with an empty operand
+    // side contributes nothing; its M buffer is zeroed so the combine
+    // stays uniform.
+    let run_rank = |r: usize, chunk: &mut [u64]| {
+        let (sbuf, rest) = chunk.split_at_mut(s_w);
+        let (tbuf, rest) = rest.split_at_mut(t_w);
+        let (mbuf, child) = rest.split_at_mut(m_w);
+        mbuf.fill(0);
+        if lv.u[r].is_empty() || lv.v[r].is_empty() {
+            return;
+        }
+        let t0 = now_if(tracing);
+        gather_xor(sbuf, a, asw, &lv.u[r], lv.k, sm, skw);
+        gather_xor(tbuf, b, bsw, &lv.v[r], lv.n, sk, snw);
+        span_end(
+            SpanKind::Additions,
+            t0,
+            ((lv.u[r].len() * s_w) + (lv.v[r].len() * t_w)) as u64,
+        );
+        rec(
+            levels,
+            depth + 1,
+            par_levels,
+            sm,
+            sk,
+            sn,
+            sbuf,
+            skw,
+            tbuf,
+            snw,
+            mbuf,
+            snw,
+            child,
+            tracing,
+        );
+    };
+
+    if depth < par_levels {
+        // BFS fan-out: all rank chunks live at once, one task each on
+        // the work-stealing pool.
+        {
+            let mut rest = &mut arena[..lv.rank * chunk_words];
+            let mut tasks: Vec<(usize, &mut [u64])> = Vec::with_capacity(lv.rank);
+            for r in 0..lv.rank {
+                let (chunk, tail) = rest.split_at_mut(chunk_words);
+                rest = tail;
+                tasks.push((r, chunk));
+            }
+            let run_rank = &run_rank;
+            fmm_runtime::scope(|s| {
+                for (r, chunk) in tasks {
+                    s.spawn(move |_| run_rank(r, chunk));
+                }
+            });
+        }
+        // Combine: M_r feeds every odd-coefficient output block.
+        let t0 = now_if(tracing);
+        for r in 0..lv.rank {
+            let moff = r * chunk_words + s_w + t_w;
+            let mbuf = &arena[moff..moff + m_w];
+            for &out in &lv.w[r] {
+                scatter_xor(c, csw, out / lv.n, out % lv.n, mbuf, sm, snw);
+            }
+        }
+        span_end(SpanKind::Combine, t0, (lv.rank * m_w) as u64);
+    } else {
+        // Sequential: one chunk reused across ranks, combine as we go.
+        let chunk = &mut arena[..chunk_words];
+        for r in 0..lv.rank {
+            run_rank(r, chunk);
+            let t0 = now_if(tracing);
+            let mbuf = &chunk[s_w + t_w..s_w + t_w + m_w];
+            for &out in &lv.w[r] {
+                scatter_xor(c, csw, out / lv.n, out % lv.n, mbuf, sm, snw);
+            }
+            span_end(SpanKind::Combine, t0, (lv.w[r].len() * m_w) as u64);
+        }
+    }
+}
+
+/// Measure the M4RM kernel's effective classical-word-op rate at the
+/// given square sizes (same inverse-time scale as
+/// [`fmm_gemm::effective_gflops`], with "flop" read as "bit op"), for
+/// feeding [`Gf2Planner::profile`] — the GF(2) analogue of
+/// [`GemmProfile::measure`].
+pub fn measure_m4rm_profile(sizes: &[usize]) -> GemmProfile {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0x6f2);
+    let mut samples = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let a = Gf2Matrix::random(n, n, &mut rng);
+        let b = Gf2Matrix::random(n, n, &mut rng);
+        let _warm = a.mul_m4rm(&b);
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = a.mul_m4rm(&b);
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            best = best.max(classical_flops(n, n, n) / secs * 1e-9);
+        }
+        samples.push((n, best));
+    }
+    GemmProfile::from_samples(samples)
+}
+
+static HISTS: OnceLock<HistogramSet> = OnceLock::new();
+
+fn hists() -> &'static HistogramSet {
+    HISTS.get_or_init(HistogramSet::new)
+}
+
+/// Snapshot of the per shape-class GF(2) execute-latency histograms
+/// (labels `"<shape-class>/gf2"`, values in nanoseconds) — the same
+/// log-bucketed rows `FmmEngine` records for the float dtypes.
+pub fn latency_histograms() -> Vec<HistogramRow> {
+    hists().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_plan(m: usize, k: usize, n: usize, steps: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Gf2Matrix::random(m, k, &mut rng);
+        let b = Gf2Matrix::random(k, n, &mut rng);
+        let plan = Gf2Planner::new()
+            .shape(m, k, n)
+            .steps(steps)
+            .plan()
+            .unwrap();
+        let mut ws = Gf2Workspace::for_plan(&plan);
+        let c = plan.execute(&a, &b, &mut ws);
+        assert_eq!(c, a.mul_naive(&b), "{m}x{k}x{n} steps={steps}");
+    }
+
+    #[test]
+    fn depth_zero_is_m4rm() {
+        check_plan(33, 70, 129, 0, 1);
+        check_plan(64, 64, 64, 0, 2);
+    }
+
+    #[test]
+    fn strassen_one_and_two_steps_match_naive() {
+        for steps in [1, 2] {
+            check_plan(64, 64, 64, steps, 3);
+            check_plan(130, 190, 70, steps, 4); // ragged: padding path
+            check_plan(256, 256, 256, steps, 5);
+        }
+    }
+
+    #[test]
+    fn ragged_odd_shapes() {
+        check_plan(1, 1, 1, 1, 6);
+        check_plan(65, 3, 127, 2, 7);
+        check_plan(7, 300, 5, 1, 8);
+    }
+
+    #[test]
+    fn workspace_is_reused_not_regrown() {
+        let plan = Gf2Planner::new()
+            .shape(128, 128, 128)
+            .steps(1)
+            .plan()
+            .unwrap();
+        let mut ws = Gf2Workspace::for_plan(&plan);
+        let cap = ws.capacity_words();
+        assert_eq!(cap, plan.workspace_words());
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Gf2Matrix::random(128, 128, &mut rng);
+        let b = Gf2Matrix::random(128, 128, &mut rng);
+        for _ in 0..3 {
+            let _ = plan.execute(&a, &b, &mut ws);
+            assert_eq!(ws.capacity_words(), cap, "steady state must not grow");
+        }
+    }
+
+    #[test]
+    fn default_depth_uses_bit_cutoff() {
+        let small = Gf2Planner::new().shape(256, 256, 256).plan().unwrap();
+        assert_eq!(small.depth(), 0, "256 bits is below the cutoff");
+        let big = Gf2Planner::new().shape(4096, 4096, 4096).plan().unwrap();
+        assert!(big.depth() >= 1, "4096 bits should recurse");
+        assert!(big.depth() <= 3);
+    }
+
+    #[test]
+    fn profile_drives_depth_via_cutoff_rule() {
+        // A flat word-op profile approves recursion (the §3.4 rule);
+        // a steep ramp blocks it. Reuses GemmProfile verbatim.
+        let flat = GemmProfile::from_samples(vec![(64, 4.0), (8192, 4.0)]);
+        let plan = Gf2Planner::new()
+            .shape(4096, 4096, 4096)
+            .profile(flat)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.depth(), 3);
+        let steep = GemmProfile::from_samples(vec![(64, 1.0), (128, 2.0), (8192, 64.0)]);
+        let plan = Gf2Planner::new()
+            .shape(4096, 4096, 4096)
+            .profile(steep)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.depth(), 0);
+    }
+
+    #[test]
+    fn apa_scheme_fails_with_named_scheme_and_coefficient() {
+        // Satellite: planning an APA scheme over GF(2) must name the
+        // offending coefficient and the scheme in the Display output.
+        let bini = fmm_algo::by_name("bini").expect("bini is in the catalog");
+        let err = Gf2Planner::new()
+            .shape(512, 512, 512)
+            .algorithm(&bini.dec)
+            .steps(1)
+            .plan()
+            .unwrap_err();
+        let PlanError::UnrepresentableCoefficient {
+            value,
+            ref scheme,
+            dtype,
+        } = err
+        else {
+            panic!("expected UnrepresentableCoefficient, got {err:?}");
+        };
+        assert!(
+            value.fract() != 0.0,
+            "offender should be fractional: {value}"
+        );
+        assert_eq!(dtype, "gf2");
+        assert!(scheme.contains("<3,2,2>"), "scheme label: {scheme}");
+        let msg = err.to_string();
+        assert!(msg.contains("<3,2,2>"), "message names the scheme: {msg}");
+        assert!(msg.contains("gf2"), "message names the dtype: {msg}");
+    }
+
+    #[test]
+    fn float_planner_error_matches_over_gf2_elementwise_path() {
+        // The generic DenseMatrix<Gf2> path through fmm_core::Planner
+        // hits the same seam (Scalar::from_coeff) and now names the
+        // scheme too.
+        let bini = fmm_algo::by_name("bini").expect("bini is in the catalog");
+        let result = fmm_core::Planner::new()
+            .shape(12, 8, 8)
+            .algorithm(&bini.dec)
+            .steps(1)
+            .plan::<Gf2>();
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => panic!("expected an APA scheme to fail planning over gf2"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("<3,2,2>"), "{msg}");
+        assert!(msg.contains("gf2"), "{msg}");
+    }
+
+    #[test]
+    fn strassen_lift_drops_even_and_keeps_odd() {
+        let lv = Gf2Level::lift(&fmm_algo::strassen()).unwrap();
+        assert_eq!((lv.m, lv.k, lv.n, lv.rank), (2, 2, 2, 7));
+        // Strassen's U/V/W are ±1/0: every nonzero survives the lift.
+        let dec = fmm_algo::strassen();
+        for r in 0..7 {
+            let nnz_u = (0..4).filter(|&i| dec.u[(i, r)] != 0.0).count();
+            assert_eq!(lv.u[r].len(), nnz_u);
+        }
+        // A doubled coefficient would drop: check via a crafted scheme.
+        let mut dec2 = fmm_algo::strassen();
+        dec2.u[(0, 0)] = 2.0;
+        let lv2 = Gf2Level::lift(&dec2).unwrap();
+        assert!(!lv2.u[0].contains(&0), "even coefficient must drop");
+    }
+
+    #[test]
+    fn histograms_accumulate_per_shape_class() {
+        let plan = Gf2Planner::new().shape(96, 96, 96).steps(0).plan().unwrap();
+        let mut ws = Gf2Workspace::for_plan(&plan);
+        let a = Gf2Matrix::identity(96);
+        let b = Gf2Matrix::identity(96);
+        let _ = plan.execute(&a, &b, &mut ws);
+        let rows = latency_histograms();
+        assert!(
+            rows.iter().any(|r| r.label.ends_with("/gf2")),
+            "expected a /gf2 histogram row, got {:?}",
+            rows.iter().map(|r| r.label.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn spans_are_emitted_when_tracing() {
+        fmm_trace::set_enabled(true);
+        let plan = Gf2Planner::new()
+            .shape(128, 128, 128)
+            .steps(1)
+            .plan()
+            .unwrap();
+        let mut ws = Gf2Workspace::for_plan(&plan);
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Gf2Matrix::random(128, 128, &mut rng);
+        let b = Gf2Matrix::random(128, 128, &mut rng);
+        let _ = plan.execute(&a, &b, &mut ws);
+        fmm_trace::set_enabled(false);
+        let kinds: Vec<_> = fmm_trace::TraceSink::collect()
+            .tracks
+            .into_iter()
+            .flat_map(|t| t.records.into_iter().map(|r| r.kind))
+            .collect();
+        for want in [SpanKind::BaseGemm, SpanKind::Additions, SpanKind::Combine] {
+            assert!(kinds.contains(&want), "missing {want:?} in {kinds:?}");
+        }
+    }
+}

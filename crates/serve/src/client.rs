@@ -152,7 +152,7 @@ impl ServeClient {
                 b_rows: kb,
             });
         }
-        let elem = T::DTYPE.size();
+        let elem = std::mem::size_of::<T>();
         let too_big = |rows: usize, cols: usize| {
             rows > u32::MAX as usize
                 || cols > u32::MAX as usize

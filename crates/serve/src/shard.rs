@@ -138,6 +138,13 @@ impl ShardState {
         let resp = match dtype {
             WireDtype::F64 => run_engine(&self.engine_f64, id, *m, *k, *n, a, b),
             WireDtype::F32 => run_engine(&self.engine_f32, id, *m, *k, *n, a, b),
+            // Unreachable today — frame decoding rejects the reserved
+            // gf2 tag — but kept typed so a future transport can't
+            // silently fall through to a float engine.
+            WireDtype::Gf2 => {
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                return error(id, ErrorCode::BadDtype, "gf2 transport not yet supported");
+            }
         };
         self.inflight.fetch_sub(1, Ordering::AcqRel);
         if matches!(resp, Frame::MultiplyOk { .. }) {

@@ -39,6 +39,11 @@ pub enum WireDtype {
     F64,
     /// IEEE-754 binary32.
     F32,
+    /// Bit-packed GF(2) (`fmm-gf2`). The tag is reserved so routers,
+    /// shards and clients agree on it; matrix *transport* for the
+    /// packed representation is follow-up work, so any frame declaring
+    /// this dtype decodes to a typed [`WireError::UnsupportedDtype`].
+    Gf2,
 }
 
 impl WireDtype {
@@ -47,6 +52,7 @@ impl WireDtype {
         match self {
             WireDtype::F64 => 0,
             WireDtype::F32 => 1,
+            WireDtype::Gf2 => 2,
         }
     }
 
@@ -55,15 +61,19 @@ impl WireDtype {
         match tag {
             0 => Ok(WireDtype::F64),
             1 => Ok(WireDtype::F32),
+            2 => Ok(WireDtype::Gf2),
             other => Err(WireError::BadDtype(other)),
         }
     }
 
-    /// Bytes per scalar element.
-    pub fn size(self) -> usize {
+    /// Bytes per scalar element, or `None` for dtypes whose matrix
+    /// encoding is not element-per-fixed-width (bit-packed GF(2) has no
+    /// per-element byte count; its transport is not wired up yet).
+    pub fn element_size(self) -> Option<usize> {
         match self {
-            WireDtype::F64 => 8,
-            WireDtype::F32 => 4,
+            WireDtype::F64 => Some(8),
+            WireDtype::F32 => Some(4),
+            WireDtype::Gf2 => None,
         }
     }
 
@@ -73,6 +83,7 @@ impl WireDtype {
         match self {
             WireDtype::F64 => "f64",
             WireDtype::F32 => "f32",
+            WireDtype::Gf2 => "gf2",
         }
     }
 }
@@ -85,7 +96,7 @@ pub trait WireScalar: GemmScalar {
     const DTYPE: WireDtype;
     /// Append `self` in little-endian byte order.
     fn put_le(self, out: &mut Vec<u8>);
-    /// Read one scalar from exactly `Self::DTYPE.size()` bytes.
+    /// Read one scalar from exactly `size_of::<Self>()` bytes.
     fn get_le(bytes: &[u8]) -> Self;
 }
 
@@ -202,6 +213,10 @@ pub enum WireError {
     BadKind(u8),
     /// Unknown dtype tag.
     BadDtype(u8),
+    /// A known, reserved dtype that this build cannot yet transport
+    /// (e.g. bit-packed GF(2)). Distinct from [`WireError::BadDtype`]:
+    /// the tag is valid protocol, the capability is missing.
+    UnsupportedDtype(WireDtype),
     /// Unknown error-code tag.
     BadErrorCode(u8),
     /// The body length disagrees with the declared shape/lengths.
@@ -232,6 +247,11 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unknown wire version {v}"),
             WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::BadDtype(d) => write!(f, "unknown dtype tag {d}"),
+            WireError::UnsupportedDtype(d) => write!(
+                f,
+                "dtype {} is reserved but not yet transportable on the wire",
+                d.name()
+            ),
             WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
             WireError::BadLength { expected, got } => {
                 write!(f, "body length {got} disagrees with declared {expected}")
@@ -511,11 +531,14 @@ impl Frame {
 /// Byte count of an `rows × cols` matrix of `dtype`, rejecting
 /// products that overflow or exceed the frame cap.
 fn checked_bytes(rows: u32, cols: u32, dtype: WireDtype) -> Result<usize, WireError> {
+    let elem = dtype
+        .element_size()
+        .ok_or(WireError::UnsupportedDtype(dtype))?;
     let elems = (rows as u64)
         .checked_mul(cols as u64)
         .ok_or(WireError::ShapeOverflow)?;
     let bytes = elems
-        .checked_mul(dtype.size() as u64)
+        .checked_mul(elem as u64)
         .ok_or(WireError::ShapeOverflow)?;
     if bytes > MAX_FRAME as u64 {
         return Err(WireError::Oversized(bytes as usize));
@@ -636,7 +659,7 @@ fn read_exactly<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), WireError> {
 
 /// Serialize a matrix into its row-major little-endian wire form.
 pub fn encode_matrix<T: WireScalar>(m: &DenseMatrix<T>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(m.as_slice().len() * T::DTYPE.size());
+    let mut out = Vec::with_capacity(std::mem::size_of_val(m.as_slice()));
     for &x in m.as_slice() {
         x.put_le(&mut out);
     }
@@ -651,7 +674,7 @@ pub fn decode_matrix<T: WireScalar>(
     cols: usize,
     bytes: &[u8],
 ) -> Result<DenseMatrix<T>, WireError> {
-    let size = T::DTYPE.size();
+    let size = std::mem::size_of::<T>();
     let expected = rows
         .checked_mul(cols)
         .and_then(|e| e.checked_mul(size))
@@ -786,6 +809,47 @@ mod tests {
             Frame::decode(&long),
             Err(WireError::BadLength { .. })
         ));
+    }
+
+    #[test]
+    fn gf2_dtype_tag_is_reserved_not_transportable() {
+        // The tag parses — it is valid protocol both ways.
+        assert!(matches!(WireDtype::from_tag(2), Ok(WireDtype::Gf2)));
+        assert_eq!(WireDtype::Gf2.tag(), 2);
+        assert_eq!(WireDtype::Gf2.name(), "gf2");
+        assert_eq!(WireDtype::Gf2.element_size(), None);
+        // The tag after the reserved one is still unknown protocol.
+        assert!(matches!(
+            WireDtype::from_tag(3),
+            Err(WireError::BadDtype(3))
+        ));
+        // A MultiplyReq declaring gf2 decodes to a *typed* unsupported
+        // error (decoding stays total — no panic, no bogus frame). The
+        // dtype byte sits right after the 10-byte header.
+        let mut payload = Frame::MultiplyReq {
+            id: 5,
+            dtype: WireDtype::F64,
+            m: 2,
+            k: 2,
+            n: 2,
+            a: vec![0; 32],
+            b: vec![0; 32],
+        }
+        .encode();
+        payload[HEADER] = WireDtype::Gf2.tag();
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::UnsupportedDtype(WireDtype::Gf2))
+        ));
+        let msg = WireError::UnsupportedDtype(WireDtype::Gf2).to_string();
+        assert!(msg.contains("gf2"), "{msg}");
+    }
+
+    #[test]
+    fn shape_hash_distinguishes_gf2() {
+        let f = shape_hash(64, 64, 64, WireDtype::F64);
+        let g = shape_hash(64, 64, 64, WireDtype::Gf2);
+        assert_ne!(f, g, "dtype must enter shard placement");
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn matrix_bytes(rows: usize, cols: usize, dtype: WireDtype, seed: u64) -> Vec<u8
     match dtype {
         WireDtype::F64 => encode_matrix(&DenseMatrix::<f64>::random(rows, cols, &mut rng)),
         WireDtype::F32 => encode_matrix(&DenseMatrix::<f32>::random(rows, cols, &mut rng)),
+        WireDtype::Gf2 => unreachable!("gf2 has no wire transport yet"),
     }
 }
 

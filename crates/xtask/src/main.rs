@@ -97,6 +97,14 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 /// workspace is written against. Changing this surface is a deliberate
 /// act: update the facade, this pin, and the swap-compatibility note
 /// in `vendor/rayon/src/lib.rs` together.
+/// `.alg` catalog entries whose U/V/W coefficients are all integers —
+/// exactly the schemes the GF(2) backend can execute via the mod-2
+/// lift (odd → 1, even → 0). The data lint recomputes this set from
+/// the shipped files and fails on any drift in either direction, so a
+/// new `.alg` drop (e.g. from a flip-graph search) must declare here
+/// whether it is semiring-executable.
+const INTEGER_COEFF_ALGS: &[&str] = &["strassen_222"];
+
 const RAYON_FACADE_EXPORTS: &[&str] = &[
     "current_num_threads",
     "join",
@@ -142,10 +150,16 @@ fn lint() -> Result<String, Vec<String>> {
         "tracing: {n_trace} crates/trace sources scanned, none allowlisted"
     );
 
+    let n_gf2 = lint_gf2_stays_safe(&sources, &mut failures);
+    let _ = writeln!(
+        summary,
+        "gf2 backend: {n_gf2} crates/gf2 sources scanned, none allowlisted"
+    );
+
     let n_hot = lint_no_raw_clocks_in_hot_paths(&root, &sources, &mut failures);
     let _ = writeln!(
         summary,
-        "hot paths: {n_hot} executor/gemm sources free of raw Instant reads"
+        "hot paths: {n_hot} executor/gemm/m4rm sources free of raw Instant reads"
     );
 
     if failures.is_empty() {
@@ -311,6 +325,36 @@ fn lint_trace_stays_safe(sources: &[PathBuf], failures: &mut Vec<String>) -> usi
     n_trace
 }
 
+/// The GF(2) backend (`crates/gf2`) is pinned to safe Rust
+/// (`#![forbid]` in the crate root, re-asserted here): packed word ops
+/// are all expressible with slice indexing, so its files must never
+/// enter the allowlist, and they must be present in the scan. Returns
+/// the number of gf2 sources seen.
+fn lint_gf2_stays_safe(sources: &[PathBuf], failures: &mut Vec<String>) -> usize {
+    if let Some(entry) = UNSAFE_ALLOWLIST
+        .iter()
+        .find(|a| Path::new(a).starts_with("crates/gf2"))
+    {
+        failures.push(format!(
+            "{entry}: crates/gf2 must stay free of allowlisted {} code \
+             (packed word ops are expressible in safe slice indexing); remove the entry",
+            ["un", "safe"].concat(),
+        ));
+    }
+    let n_gf2 = sources
+        .iter()
+        .filter(|p| p.starts_with("crates/gf2"))
+        .count();
+    if n_gf2 == 0 {
+        failures.push(
+            "crates/gf2: no sources found in the scan — the safe-Rust pin \
+             on the GF(2) backend is not being enforced"
+                .to_string(),
+        );
+    }
+    n_gf2
+}
+
 /// The executor and gemm hot paths must take timestamps only through
 /// the trace clock (`fmm_trace::now_ns`/`now_if`, whose gate check is
 /// hoisted out of leaf loops) — a raw `Instant::now()` there is an
@@ -326,7 +370,9 @@ fn lint_no_raw_clocks_in_hot_paths(
     let hot: Vec<&PathBuf> = sources
         .iter()
         .filter(|p| {
-            *p == Path::new("crates/core/src/executor.rs") || p.starts_with("crates/gemm/src")
+            *p == Path::new("crates/core/src/executor.rs")
+                || p.starts_with("crates/gemm/src")
+                || *p == Path::new("crates/gf2/src/m4rm.rs")
         })
         .collect();
     if hot.is_empty() {
@@ -373,6 +419,7 @@ fn lint_alg_data(root: &Path, failures: &mut Vec<String>) -> usize {
     if paths.is_empty() {
         failures.push(format!("{}: no .alg files found", data_dir.display()));
     }
+    let mut integer_coeff: Vec<String> = Vec::new();
     for path in &paths {
         let name = path
             .file_stem()
@@ -436,6 +483,34 @@ fn lint_alg_data(root: &Path, failures: &mut Vec<String>) -> usize {
             }
         } else if let Err(e) = dec.certify() {
             failures.push(format!("{label}: exact certification failed: {e}"));
+        }
+        // GF(2)-executability: all three factors integer-coefficient.
+        let all_integer = [&dec.u, &dec.v, &dec.w].iter().all(|m| {
+            m.as_slice()
+                .iter()
+                .all(|c| c.fract() == 0.0 && c.is_finite())
+        });
+        if all_integer {
+            integer_coeff.push(name.clone());
+        }
+    }
+    // The integer-coefficient set must match the pin both ways: a file
+    // leaving the set silently breaks GF(2) users of that scheme; a
+    // file entering it should be declared semiring-executable.
+    for pinned in INTEGER_COEFF_ALGS {
+        if !integer_coeff.iter().any(|n| n == pinned) {
+            failures.push(format!(
+                "crates/algo/data/{pinned}.alg: pinned as integer-coefficient \
+                 (GF(2)-executable) but the shipped file is not"
+            ));
+        }
+    }
+    for name in &integer_coeff {
+        if !INTEGER_COEFF_ALGS.contains(&name.as_str()) {
+            failures.push(format!(
+                "crates/algo/data/{name}.alg: has all-integer coefficients but \
+                 is missing from INTEGER_COEFF_ALGS — declare it GF(2)-executable"
+            ));
         }
     }
     paths.len()

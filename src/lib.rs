@@ -121,6 +121,7 @@
 pub use fmm_algo as algo;
 pub use fmm_core as core;
 pub use fmm_gemm as gemm;
+pub use fmm_gf2 as gf2;
 pub use fmm_matrix as matrix;
 pub use fmm_search as search;
 pub use fmm_serve as serve;
