@@ -451,6 +451,11 @@ mod tests {
         assert_eq!(by_base(2, 2, 3).dec.rank(), 11);
         assert_eq!(by_base(2, 2, 4).dec.rank(), 14);
         assert_eq!(by_base(2, 2, 5).dec.rank(), 18);
+        // Flip-graph-searched scheme (crates/algo/data/searched_233_15.alg)
+        // and the derived entries it improves.
+        assert_eq!(by_base(2, 3, 3).dec.rank(), 15);
+        assert!(by_base(3, 3, 3).dec.rank() <= 24);
+        assert!(by_base(3, 3, 6).dec.rank() <= 45);
     }
 
     #[test]

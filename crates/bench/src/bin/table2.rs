@@ -20,4 +20,22 @@ fn main() {
     let rank: usize = s54.iter().map(|d| d.rank()).product();
     let omega = 3.0 * (rank as f64).ln() / (54.0f64 * 54.0 * 54.0).ln();
     println!("\ncomposed <54,54,54>: rank {rank}, square exponent ω₀ = {omega:.3} (paper: 2.775 with rank 40³)");
+
+    // The flip-graph-searched ⟨2,3,3⟩:15 and its derived ripple are
+    // quoted by EXPERIMENTS.md; hard-fail here if the catalog ever
+    // regresses past them (this binary runs in CI).
+    assert_eq!(
+        fmm_algo::by_base(2, 3, 3).dec.rank(),
+        15,
+        "⟨2,3,3⟩ lost the searched rank-15 scheme"
+    );
+    assert!(
+        fmm_algo::by_base(3, 3, 3).dec.rank() <= 24,
+        "⟨3,3,3⟩ regressed past ⟨1,3,3⟩ ⊕ ⟨2,3,3⟩ = 24"
+    );
+    assert!(
+        fmm_algo::by_base(3, 3, 6).dec.rank() <= 45,
+        "⟨3,3,6⟩ regressed past ⟨3,3,2⟩ ⊕ ⟨3,3,4⟩ = 45"
+    );
+    assert!(omega < 2.957, "composed exponent regressed to {omega:.3}");
 }

@@ -71,6 +71,49 @@ proptest! {
         prop_assert_eq!(&got, &expect);
     }
 
+    /// Every integer-coefficient `.alg` in the embedded catalog — which
+    /// automatically includes newly landed flip-graph search output —
+    /// lifts mod 2 and executes bitwise-equal to the scalar reference.
+    /// No hardcoded scheme list: the filter mirrors the xtask lint's
+    /// integer/fractional classification.
+    #[test]
+    fn integer_catalog_schemes_execute_under_the_mod_2_lift(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+        pick in 0usize..64,
+    ) {
+        let integer: Vec<_> = fmm_algo::embedded_files()
+            .iter()
+            .filter_map(|(_, text)| fmm_algo::parse(text).ok())
+            .filter(|dec| {
+                [&dec.u, &dec.v, &dec.w].iter().all(|mat| {
+                    mat.as_slice()
+                        .iter()
+                        .all(|c| c.fract() == 0.0 && c.is_finite())
+                })
+            })
+            .collect();
+        prop_assert!(!integer.is_empty(), "catalog lost all integer schemes");
+        let dec = &integer[pick % integer.len()];
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Gf2Matrix::random(m, k, &mut rng);
+        let b = Gf2Matrix::random(k, n, &mut rng);
+        let expect = reference(&a, &b);
+
+        let plan = Gf2Planner::new()
+            .shape(m, k, n)
+            .algorithm(dec)
+            .steps(1)
+            .plan()
+            .expect("integer scheme must lift mod 2");
+        let mut ws = Gf2Workspace::for_plan(&plan);
+        let got = plan.execute(&a, &b, &mut ws);
+        prop_assert_eq!(&got, &expect);
+    }
+
     #[test]
     fn xor_is_self_inverse_and_or_is_idempotent(
         rows in 1usize..80,

@@ -1,0 +1,690 @@
+//! The flip-graph moves: flips, reductions, and splits.
+//!
+//! All three moves rewrite a pair (or one) of rank-one terms while
+//! leaving the represented tensor *identically unchanged over ℤ* — the
+//! correctness argument is a two-line algebraic identity per move, so
+//! the search never needs numerics and every reachable state is exact:
+//!
+//! * **flip** (rank-preserving): two terms sharing a factor up to sign,
+//!   say `a⊗b₁⊗c₁ + a⊗b₂⊗c₂`, become `a⊗(b₁+b₂)⊗c₁ + a⊗b₂⊗(c₂−c₁)`
+//!   (and the three symmetric variants). This is the edge relation of
+//!   the Kauers–Moosbauer flip graph.
+//! * **reduction** (rank −1 or −2): two terms sharing *two* factors up
+//!   to sign merge into one (`a⊗b⊗c₁ + a⊗b⊗c₂ = a⊗b⊗(c₁+c₂)`); a term
+//!   with a zero factor is deleted. Reductions are applied greedily —
+//!   they are the only way rank ever drops.
+//! * **split** (rank +1, the "plateau kick"): one term `a⊗b⊗c` becomes
+//!   `a⊗d⊗c + a⊗(b−d)⊗c` for a random `d`, the inverse of a reduction.
+//!   Used to climb out of flip-connected components with no further
+//!   reductions (the plus-transition of Moosbauer–Poole).
+//!
+//! Every move is gated on a coefficient bound: a candidate that would
+//! push any factor entry above `limit` in absolute value is rejected,
+//! keeping the walk inside a bounded integer lattice (the literature
+//! schemes at the target ranks have entries in `{−1,0,1}`).
+
+use crate::scheme::{IntScheme, Term};
+
+/// Which factor slot two terms share in a flip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// Shared A-side factor: the flip rewrites `b` and `c`.
+    A,
+    /// Shared B-side factor: the flip rewrites `a` and `c`.
+    B,
+    /// Shared C-side factor: the flip rewrites `a` and `b`.
+    C,
+}
+
+impl Slot {
+    /// All slots, for enumeration.
+    pub const ALL: [Slot; 3] = [Slot::A, Slot::B, Slot::C];
+}
+
+/// A fully specified flip: ordered term pair `(r, s)`, the shared slot,
+/// and which of the four rewrite orientations to apply.
+#[derive(Clone, Copy, Debug)]
+pub struct FlipMove {
+    /// Index of the term whose factor receives the sum.
+    pub r: usize,
+    /// Index of the term whose factor receives the difference.
+    pub s: usize,
+    /// The slot the two terms share (up to sign).
+    pub slot: Slot,
+    /// Orientation: `false` puts the sum on the first free slot,
+    /// `true` on the second.
+    pub variant: bool,
+    /// Rewrite term `s` in its sign-orbit twin `x⊗(−y)⊗(−z)` before
+    /// applying the identity, turning the sum into a difference. Over
+    /// ℤ the two orientations are genuinely different moves (over F₂
+    /// they coincide), and the negated one is what lets overlapping
+    /// same-sign factors *cancel* instead of blowing the coefficient
+    /// bound.
+    pub negate: bool,
+}
+
+/// `+1` when `x == y`, `-1` when `x == -y`, `None` otherwise.
+/// (The zero vector never reports a share — degenerate terms are
+/// reduction fodder, not flip partners.)
+pub fn shared_sign(x: &[i32], y: &[i32]) -> Option<i32> {
+    let mut eq = true;
+    let mut neg = true;
+    let mut nonzero = false;
+    for (&xi, &yi) in x.iter().zip(y) {
+        eq &= xi == yi;
+        neg &= xi == -yi;
+        if xi != 0 {
+            nonzero = true;
+        }
+        if !eq && !neg {
+            return None;
+        }
+    }
+    match (nonzero, eq) {
+        (false, _) => None,
+        (true, true) => Some(1),
+        (true, false) => Some(-1),
+    }
+}
+
+fn add_scaled(dst: &[i32], src: &[i32], sign: i32) -> Vec<i32> {
+    dst.iter().zip(src).map(|(&d, &s)| d + sign * s).collect()
+}
+
+fn within(v: &[i32], limit: i32) -> bool {
+    v.iter().all(|&x| x.abs() <= limit)
+}
+
+/// Undo record for a flip: the two replaced terms.
+#[derive(Clone, Debug)]
+pub struct FlipUndo {
+    /// Index and previous value of the first rewritten term.
+    pub r: (usize, Term),
+    /// Index and previous value of the second rewritten term.
+    pub s: (usize, Term),
+}
+
+/// Compute the rewritten `(r, s)` term pair for a flip, without
+/// touching any scheme. `None` when the terms do not share `slot` up
+/// to sign or a rewritten factor would exceed `limit`.
+fn flipped_pair(
+    tr: &Term,
+    ts: &Term,
+    slot: Slot,
+    variant: bool,
+    negate: bool,
+    limit: i32,
+) -> Option<(Term, Term)> {
+    // With shared slot X = x (so x_r == σ·x_s): rewrite term s in the
+    // equivalent form (x_r, σ·y_s, z_s) — the shared factor exactly
+    // equal — then apply the flip identity
+    //   x⊗y_r⊗z_r + x⊗y_s⊗z_s = x⊗(y_r+y_s)⊗z_r + x⊗y_s⊗(z_s−z_r)
+    // (variant false) or its mirror with the sum on z (variant true).
+    // `negate` first replaces (x, σ·y_s, z_s) by its sign-orbit twin
+    // (x, −σ·y_s, −z_s) — same term, different flip.
+    let (sigma, shared, yr, zr, ys, zs) = match slot {
+        Slot::A => (
+            shared_sign(&tr.a, &ts.a)?,
+            &tr.a,
+            &tr.b,
+            &tr.c,
+            &ts.b,
+            &ts.c,
+        ),
+        Slot::B => (
+            shared_sign(&tr.b, &ts.b)?,
+            &tr.b,
+            &tr.a,
+            &tr.c,
+            &ts.a,
+            &ts.c,
+        ),
+        Slot::C => (
+            shared_sign(&tr.c, &ts.c)?,
+            &tr.c,
+            &tr.a,
+            &tr.b,
+            &ts.a,
+            &ts.b,
+        ),
+    };
+    let tau = if negate { -sigma } else { sigma };
+    let ys_adj: Vec<i32> = ys.iter().map(|&x| tau * x).collect();
+    let zs_adj: Vec<i32> = if negate {
+        zs.iter().map(|&x| -x).collect()
+    } else {
+        zs.clone()
+    };
+    let (new_yr, new_zr, new_ys, new_zs) = if !variant {
+        // y_r ← y_r + y_s', z_s ← z_s' − z_r.
+        (
+            add_scaled(yr, &ys_adj, 1),
+            zr.clone(),
+            ys_adj.clone(),
+            add_scaled(&zs_adj, zr, -1),
+        )
+    } else {
+        // z_r ← z_r + z_s', y_s' ← y_s' − y_r.
+        (
+            yr.clone(),
+            add_scaled(zr, &zs_adj, 1),
+            add_scaled(&ys_adj, yr, -1),
+            zs_adj.clone(),
+        )
+    };
+    if !within(&new_yr, limit)
+        || !within(&new_zr, limit)
+        || !within(&new_ys, limit)
+        || !within(&new_zs, limit)
+    {
+        return None;
+    }
+    let rebuild = |shared: Vec<i32>, y: Vec<i32>, z: Vec<i32>| match slot {
+        Slot::A => Term {
+            a: shared,
+            b: y,
+            c: z,
+        },
+        Slot::B => Term {
+            b: shared,
+            a: y,
+            c: z,
+        },
+        Slot::C => Term {
+            c: shared,
+            a: y,
+            b: z,
+        },
+    };
+    Some((
+        rebuild(shared.clone(), new_yr, new_zr),
+        rebuild(shared.clone(), new_ys, new_zs),
+    ))
+}
+
+/// Apply `mv` if the two terms share the requested slot (up to sign)
+/// and the rewritten factors stay within `limit`. Returns the undo
+/// record on success. The scheme's tensor is unchanged by construction.
+pub fn apply_flip(scheme: &mut IntScheme, mv: FlipMove, limit: i32) -> Option<FlipUndo> {
+    let FlipMove {
+        r,
+        s,
+        slot,
+        variant,
+        negate,
+    } = mv;
+    if r == s || r >= scheme.rank() || s >= scheme.rank() {
+        return None;
+    }
+    let (new_r, new_s) = flipped_pair(
+        &scheme.terms[r],
+        &scheme.terms[s],
+        slot,
+        variant,
+        negate,
+        limit,
+    )?;
+    let undo = FlipUndo {
+        r: (r, std::mem::replace(&mut scheme.terms[r], new_r)),
+        s: (s, std::mem::replace(&mut scheme.terms[s], new_s)),
+    };
+    Some(undo)
+}
+
+/// Revert a flip applied by [`apply_flip`]. Only valid while the term
+/// indices are unchanged (i.e. before any reduction ran).
+pub fn undo_flip(scheme: &mut IntScheme, undo: FlipUndo) {
+    scheme.terms[undo.r.0] = undo.r.1;
+    scheme.terms[undo.s.0] = undo.s.1;
+}
+
+/// Try to merge terms `t` and `i` (two shared slots up to sign) into
+/// `t`. Returns true on success, with term `i` left degenerate-free to
+/// delete by the caller — the merged factor must stay within `limit`.
+fn try_merge(scheme: &mut IntScheme, t: usize, i: usize, limit: i32) -> bool {
+    let (tt, ti) = (&scheme.terms[t], &scheme.terms[i]);
+    let sa = shared_sign(&tt.a, &ti.a);
+    let sb = shared_sign(&tt.b, &ti.b);
+    let sc = shared_sign(&tt.c, &ti.c);
+    // a⊗b⊗c_t + (σ_a a)⊗(σ_b b)⊗c_i = a⊗b⊗(c_t + σ_a σ_b c_i), etc.
+    let merged: Option<(Vec<i32>, Slot)> = if let (Some(sa), Some(sb)) = (sa, sb) {
+        Some((add_scaled(&tt.c, &ti.c, sa * sb), Slot::C))
+    } else if let (Some(sa), Some(sc)) = (sa, sc) {
+        Some((add_scaled(&tt.b, &ti.b, sa * sc), Slot::B))
+    } else if let (Some(sb), Some(sc)) = (sb, sc) {
+        Some((add_scaled(&tt.a, &ti.a, sb * sc), Slot::A))
+    } else {
+        None
+    };
+    match merged {
+        Some((v, _)) if !within(&v, limit) => false,
+        Some((v, slot)) => {
+            match slot {
+                Slot::A => scheme.terms[t].a = v,
+                Slot::B => scheme.terms[t].b = v,
+                Slot::C => scheme.terms[t].c = v,
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// Apply reductions greedily until none remain, starting from the
+/// terms in `touched` (after a flip, only pairs involving a rewritten
+/// term can newly have become reducible — the walker maintains the
+/// invariant that the scheme was fully reduced before the flip).
+/// Returns the number of terms removed.
+pub fn reduce_touching(scheme: &mut IntScheme, limit: i32, touched: &[usize]) -> usize {
+    let mut work: Vec<usize> = touched.to_vec();
+    let mut removed = 0usize;
+    while let Some(t) = work.pop() {
+        if t >= scheme.rank() {
+            continue;
+        }
+        // Zero-factor terms vanish outright.
+        if scheme.terms[t].is_degenerate() {
+            scheme.terms.swap_remove(t);
+            removed += 1;
+            // The swapped-in term kept its content; only its index
+            // changed, which cannot create new reductions, but pending
+            // work items pointing at the old last index must follow it.
+            let old_last = scheme.rank();
+            for w in &mut work {
+                if *w == old_last {
+                    *w = t;
+                }
+            }
+            continue;
+        }
+        let mut i = 0;
+        while i < scheme.rank() {
+            if i == t {
+                i += 1;
+                continue;
+            }
+            if try_merge(scheme, t, i, limit) {
+                scheme.terms.swap_remove(i);
+                removed += 1;
+                let old_last = scheme.rank();
+                let follow = |w: usize| if w == old_last { i } else { w };
+                work = work.into_iter().map(follow).collect();
+                // The merged term changed: re-examine it from scratch
+                // (it may now be degenerate or merge with others).
+                let t = follow(t);
+                work.push(t);
+                break;
+            }
+            i += 1;
+        }
+    }
+    removed
+}
+
+/// Full-scan reduction pass: reduce every pair until fixpoint. Used at
+/// walk start and as the correctness backstop in tests; the walker's
+/// steady state uses [`reduce_touching`].
+pub fn reduce_all(scheme: &mut IntScheme, limit: i32) -> usize {
+    let touched: Vec<usize> = (0..scheme.rank()).collect();
+    reduce_touching(scheme, limit, &touched)
+}
+
+/// Sign-canonical form of a nonzero vector: negated if its leading
+/// nonzero entry is negative, so `v` and `−v` map to the same key.
+fn sign_canon(v: &[i32]) -> Option<Vec<i32>> {
+    let lead = v.iter().find(|&&x| x != 0)?;
+    if *lead < 0 {
+        Some(v.iter().map(|&x| -x).collect())
+    } else {
+        Some(v.to_vec())
+    }
+}
+
+/// One-step descent oracle: find a flip whose application immediately
+/// enables a reduction — a rewritten factor that becomes zero, or a
+/// rewritten term that newly shares two slots (within `limit`) with
+/// some other term. Returns the first such move in a deterministic
+/// scan order, or `None` when no single flip can drop the rank.
+///
+/// This is what turns the blind random walk into a descending one:
+/// rank-drop coincidences are far too rare for rejection sampling to
+/// hit, but with per-slot vector indexes they can be *enumerated* at a
+/// cost comparable to a handful of random steps.
+pub fn find_reducing_flip(scheme: &IntScheme, limit: i32) -> Option<FlipMove> {
+    find_reducing_flip_among(scheme, limit, None)
+}
+
+/// [`find_reducing_flip`] restricted to flips *involving* one of the
+/// `dirty` terms (`None` = all pairs). After a plateau flip only the
+/// two rewritten terms can participate in newly enabled descents as
+/// flip members, so scanning their pairs covers almost everything at a
+/// fraction of the cost; a descent whose dirty term is only the
+/// passive merge partner is missed, which callers absorb by scheduling
+/// periodic full scans.
+pub fn find_reducing_flip_among(
+    scheme: &IntScheme,
+    limit: i32,
+    dirty: Option<&[usize]>,
+) -> Option<FlipMove> {
+    use std::collections::BTreeMap;
+    // Per-slot index: sign-canonical factor → terms carrying it.
+    let mut index: [BTreeMap<Vec<i32>, Vec<usize>>; 3] =
+        [BTreeMap::new(), BTreeMap::new(), BTreeMap::new()];
+    for (t, term) in scheme.terms.iter().enumerate() {
+        for (si, v) in [&term.a, &term.b, &term.c].into_iter().enumerate() {
+            if let Some(c) = sign_canon(v) {
+                index[si].entry(c).or_default().push(t);
+            }
+        }
+    }
+    // `x` (a just-rewritten term) merges with `t` if they share two
+    // slots up to sign and the merged third factor stays in bounds.
+    let mergeable = |x: &Term, t: usize| -> bool {
+        let other = &scheme.terms[t];
+        let sa = shared_sign(&x.a, &other.a);
+        let sb = shared_sign(&x.b, &other.b);
+        let sc = shared_sign(&x.c, &other.c);
+        match (sa, sb, sc) {
+            (Some(sa), Some(sb), _) => within(&add_scaled(&x.c, &other.c, sa * sb), limit),
+            (Some(sa), _, Some(sc)) => within(&add_scaled(&x.b, &other.b, sa * sc), limit),
+            (_, Some(sb), Some(sc)) => within(&add_scaled(&x.a, &other.a, sb * sc), limit),
+            _ => false,
+        }
+    };
+    let is_dirty = |t: usize| dirty.is_none_or(|d| d.contains(&t));
+    for (si, slot) in Slot::ALL.into_iter().enumerate() {
+        for bucket in index[si].values() {
+            for (bi, &p) in bucket.iter().enumerate() {
+                for &q in &bucket[bi + 1..] {
+                    if !is_dirty(p) && !is_dirty(q) {
+                        continue;
+                    }
+                    for (r, s) in [(p, q), (q, p)] {
+                        for variant in [false, true] {
+                            for negate in [false, true] {
+                                let mv = FlipMove {
+                                    r,
+                                    s,
+                                    slot,
+                                    variant,
+                                    negate,
+                                };
+                                let Some((new_r, new_s)) = flipped_pair(
+                                    &scheme.terms[r],
+                                    &scheme.terms[s],
+                                    slot,
+                                    variant,
+                                    negate,
+                                    limit,
+                                ) else {
+                                    continue;
+                                };
+                                if new_r.is_degenerate() || new_s.is_degenerate() {
+                                    return Some(mv);
+                                }
+                                for (x, other) in [(&new_r, &new_s), (&new_s, &new_r)] {
+                                    // Candidate partners: terms whose
+                                    // indexed factor matches one of
+                                    // x's (possibly new) factors.
+                                    for (yi, v) in [&x.a, &x.b, &x.c].into_iter().enumerate() {
+                                        let Some(c) = sign_canon(v) else { continue };
+                                        let Some(ts) = index[yi].get(&c) else {
+                                            continue;
+                                        };
+                                        for &t in ts {
+                                            if t != r && t != s && mergeable(x, t) {
+                                                return Some(mv);
+                                            }
+                                        }
+                                    }
+                                    // r and s themselves still share
+                                    // `slot`; a second share between
+                                    // the rewritten pair reduces too.
+                                    let sa = shared_sign(&x.a, &other.a);
+                                    let sb = shared_sign(&x.b, &other.b);
+                                    let sc = shared_sign(&x.c, &other.c);
+                                    let pair_merge = match (sa, sb, sc) {
+                                        (Some(sa), Some(sb), _) => {
+                                            within(&add_scaled(&x.c, &other.c, sa * sb), limit)
+                                        }
+                                        (Some(sa), _, Some(sc)) => {
+                                            within(&add_scaled(&x.b, &other.b, sa * sc), limit)
+                                        }
+                                        (_, Some(sb), Some(sc)) => {
+                                            within(&add_scaled(&x.a, &other.a, sb * sc), limit)
+                                        }
+                                        _ => false,
+                                    };
+                                    if pair_merge {
+                                        return Some(mv);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// All unordered term pairs sharing a factor (up to sign) in some
+/// slot — the applicable flip edges at the current state, in
+/// deterministic order. Random walks sample uniformly from these
+/// instead of blindly drawing term pairs, most of which share nothing
+/// and waste the draw.
+pub fn share_pairs(scheme: &IntScheme) -> Vec<(usize, usize, Slot)> {
+    use std::collections::BTreeMap;
+    let mut out = Vec::new();
+    for (si, slot) in Slot::ALL.into_iter().enumerate() {
+        let mut buckets: BTreeMap<Vec<i32>, Vec<usize>> = BTreeMap::new();
+        for (t, term) in scheme.terms.iter().enumerate() {
+            let v = [&term.a, &term.b, &term.c][si];
+            if let Some(c) = sign_canon(v) {
+                buckets.entry(c).or_default().push(t);
+            }
+        }
+        for bucket in buckets.values() {
+            for (bi, &p) in bucket.iter().enumerate() {
+                for &q in &bucket[bi + 1..] {
+                    out.push((p, q, slot));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Split term `r`'s `slot` factor into `d` and `factor − d`, growing
+/// the rank by one (the plateau kick). Rejected when either part is
+/// zero (that would be a no-op plus a degenerate term) or exceeds
+/// `limit`. Returns true when applied.
+pub fn split(scheme: &mut IntScheme, r: usize, slot: Slot, d: &[i32], limit: i32) -> bool {
+    if r >= scheme.rank() {
+        return false;
+    }
+    let term = &scheme.terms[r];
+    let factor = match slot {
+        Slot::A => &term.a,
+        Slot::B => &term.b,
+        Slot::C => &term.c,
+    };
+    if d.len() != factor.len() {
+        return false;
+    }
+    let rest = add_scaled(factor, d, -1);
+    let zero = |v: &[i32]| v.iter().all(|&x| x == 0);
+    if zero(d) || zero(&rest) || !within(d, limit) || !within(&rest, limit) {
+        return false;
+    }
+    let mut twin = term.clone();
+    match slot {
+        Slot::A => {
+            scheme.terms[r].a = d.to_vec();
+            twin.a = rest;
+        }
+        Slot::B => {
+            scheme.terms[r].b = d.to_vec();
+            twin.b = rest;
+        }
+        Slot::C => {
+            scheme.terms[r].c = d.to_vec();
+            twin.c = rest;
+        }
+    }
+    scheme.terms.push(twin);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classical333() -> IntScheme {
+        IntScheme::classical(3, 3, 3)
+    }
+
+    #[test]
+    fn shared_sign_variants() {
+        assert_eq!(shared_sign(&[1, 0, -2], &[1, 0, -2]), Some(1));
+        assert_eq!(shared_sign(&[1, 0, -2], &[-1, 0, 2]), Some(-1));
+        assert_eq!(shared_sign(&[1, 0, -2], &[1, 0, 2]), None);
+        assert_eq!(
+            shared_sign(&[0, 0], &[0, 0]),
+            None,
+            "zero vector never shares"
+        );
+    }
+
+    #[test]
+    fn flips_preserve_the_tensor() {
+        let mut s = classical333();
+        // Terms 0 (i=0,p=0,j=0) and 1 (i=0,p=0,j=1) share slot A.
+        for variant in [false, true] {
+            for negate in [false, true] {
+                let mv = FlipMove {
+                    r: 0,
+                    s: 1,
+                    slot: Slot::A,
+                    variant,
+                    negate,
+                };
+                let undo = apply_flip(&mut s, mv, 8).expect("terms 0,1 share a");
+                assert!(
+                    s.is_valid(),
+                    "flip variant {variant}/negate {negate} broke the tensor"
+                );
+                undo_flip(&mut s, undo);
+                assert_eq!(s, classical333());
+            }
+        }
+    }
+
+    #[test]
+    fn flip_requires_a_shared_slot() {
+        let mut s = classical333();
+        // Terms 0 (0,0,0) and 13 (1,1,1) share nothing.
+        for slot in Slot::ALL {
+            assert!(apply_flip(
+                &mut s,
+                FlipMove {
+                    r: 0,
+                    s: 13,
+                    slot,
+                    variant: false,
+                    negate: false
+                },
+                8
+            )
+            .is_none());
+        }
+    }
+
+    #[test]
+    fn flip_respects_coefficient_limit() {
+        let mut s = classical333();
+        // limit 0 forbids every non-trivial write.
+        assert!(apply_flip(
+            &mut s,
+            FlipMove {
+                r: 0,
+                s: 1,
+                slot: Slot::A,
+                variant: false,
+                negate: false
+            },
+            0
+        )
+        .is_none());
+        assert_eq!(s, classical333());
+    }
+
+    #[test]
+    fn split_then_reduce_round_trips() {
+        let mut s = classical333();
+        let d = {
+            let mut d = vec![0; 9];
+            d[0] = 1;
+            d[4] = -1;
+            d
+        };
+        assert!(split(&mut s, 2, Slot::B, &d, 2));
+        assert_eq!(s.rank(), 28);
+        assert!(s.is_valid());
+        // The two halves share slots A and C, so reduction re-merges.
+        let removed = reduce_all(&mut s, 2);
+        assert_eq!(removed, 1);
+        assert_eq!(s.rank(), 27);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn split_rejects_zero_parts() {
+        let mut s = classical333();
+        let b = s.terms[0].b.clone();
+        assert!(!split(&mut s, 0, Slot::B, &b, 2), "rest would be zero");
+        assert!(!split(&mut s, 0, Slot::B, &[0; 9], 2), "d is zero");
+        assert_eq!(s.rank(), 27);
+    }
+
+    #[test]
+    fn reduction_merges_duplicate_terms() {
+        // A duplicated term shares all slots: the merge folds it into a
+        // coefficient-2 output factor, dropping rank by exactly one.
+        let mut dup = IntScheme::classical(2, 2, 2);
+        let copy = dup.terms[3].clone();
+        dup.terms.push(copy);
+        assert!(!dup.is_valid(), "duplicated term overcounts");
+        let removed = reduce_all(&mut dup, 2);
+        assert_eq!(removed, 1);
+        assert_eq!(dup.rank(), 8);
+    }
+
+    #[test]
+    fn reduction_cancels_sign_opposed_pairs() {
+        // a⊗b⊗c + (−a)⊗b⊗c: the merged output factor is zero, so both
+        // terms vanish and the tensor (which they jointly left intact)
+        // survives — rank drops by two.
+        let mut s = IntScheme::classical(2, 2, 2);
+        let mut neg = s.terms[0].clone();
+        neg.a.iter_mut().for_each(|x| *x = -*x);
+        s.terms.push(s.terms[0].clone());
+        s.terms.push(neg);
+        assert!(s.is_valid(), "the appended pair sums to zero");
+        let removed = reduce_all(&mut s, 2);
+        assert_eq!(removed, 2);
+        assert_eq!(s.rank(), 8);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn degenerate_terms_are_swept() {
+        let mut s = classical333();
+        s.terms[5].c = vec![0; 9];
+        s.terms[11].a = vec![0; 9];
+        let removed = reduce_all(&mut s, 2);
+        assert_eq!(removed, 2);
+        assert_eq!(s.rank(), 25);
+    }
+}

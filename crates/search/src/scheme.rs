@@ -1,0 +1,327 @@
+//! Exact ℤ-coefficient rank-one schemes — the state space of the
+//! flip-graph search.
+//!
+//! A [`IntScheme`] is a list of rank-one terms `a ⊗ b ⊗ c` with
+//! integer factor vectors whose sum must equal the matrix
+//! multiplication tensor `T_{⟨m,k,n⟩}` *identically over ℤ* — there are
+//! no floats anywhere in the representation, so every state the search
+//! visits is exact by construction and the only thing a move can change
+//! is the rank, never correctness.
+//!
+//! The module also provides the canonical-form hash used for
+//! visited-set dedup: two schemes that differ only by a permutation of
+//! their summands or by the sign relabelings `(a,b,c) → (±a,±b,±c)`
+//! with positive sign product (which leave every term's tensor
+//! contribution unchanged) hash identically. Terms are sign-normalized
+//! so the leading nonzero of `a` and of `b` is positive (the residual
+//! sign lands on `c`), and the per-term hashes are combined with a
+//! commutative wrapping sum, which makes summand order irrelevant
+//! without sorting.
+
+use fmm_matrix::Matrix;
+use fmm_tensor::Decomposition;
+
+/// One rank-one term `a ⊗ b ⊗ c` over ℤ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Term {
+    /// A-side factor, length `m·k`.
+    pub a: Vec<i32>,
+    /// B-side factor, length `k·n`.
+    pub b: Vec<i32>,
+    /// C-side factor, length `m·n`.
+    pub c: Vec<i32>,
+}
+
+impl Term {
+    /// True when any factor is the zero vector — the term contributes
+    /// nothing and can be deleted (a rank reduction).
+    pub fn is_degenerate(&self) -> bool {
+        let zero = |v: &[i32]| v.iter().all(|&x| x == 0);
+        zero(&self.a) || zero(&self.b) || zero(&self.c)
+    }
+
+    /// Total number of nonzero entries across the three factors.
+    pub fn nnz(&self) -> usize {
+        self.a
+            .iter()
+            .chain(&self.b)
+            .chain(&self.c)
+            .filter(|&&x| x != 0)
+            .count()
+    }
+
+    /// Largest absolute coefficient across the three factors.
+    pub fn max_coeff(&self) -> i32 {
+        self.a
+            .iter()
+            .chain(&self.b)
+            .chain(&self.c)
+            .map(|x| x.abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sign-canonical 64-bit hash: invariant under the four relabelings
+    /// `(a,b,c) → (s_a·a, s_b·b, s_c·c)` with `s_a·s_b·s_c = 1`.
+    pub fn hash64(&self) -> u64 {
+        let lead = |v: &[i32]| v.iter().find(|&&x| x != 0).map_or(1, |&x| x.signum());
+        // Multiplying by (pa, pb, pa·pb) has positive sign product and
+        // makes the leading nonzeros of a and b positive — a canonical
+        // representative of the 4-element sign orbit.
+        let pa = lead(&self.a);
+        let pb = lead(&self.b);
+        let pc = pa * pb;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut feed = |x: i64| {
+            h ^= x as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        feed(0xa5);
+        self.a.iter().for_each(|&x| feed(i64::from(pa * x)));
+        feed(0xb7);
+        self.b.iter().for_each(|&x| feed(i64::from(pb * x)));
+        feed(0xc9);
+        self.c.iter().for_each(|&x| feed(i64::from(pc * x)));
+        h
+    }
+}
+
+/// A candidate `⟨m,k,n⟩` scheme: `Σ_r a_r ⊗ b_r ⊗ c_r = T_{⟨m,k,n⟩}`
+/// over ℤ. The rank is the number of terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntScheme {
+    /// Base-case rows of A.
+    pub m: usize,
+    /// Base-case inner dimension.
+    pub k: usize,
+    /// Base-case columns of B.
+    pub n: usize,
+    /// The rank-one terms.
+    pub terms: Vec<Term>,
+}
+
+impl IntScheme {
+    /// The classical `⟨m,k,n⟩` scheme: `m·k·n` terms
+    /// `e_{ip} ⊗ e_{pj} ⊗ e_{ij}` — the canonical start state of every
+    /// flip-graph walk.
+    pub fn classical(m: usize, k: usize, n: usize) -> Self {
+        let mut terms = Vec::with_capacity(m * k * n);
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    let mut a = vec![0; m * k];
+                    let mut b = vec![0; k * n];
+                    let mut c = vec![0; m * n];
+                    a[i * k + p] = 1;
+                    b[p * n + j] = 1;
+                    c[i * n + j] = 1;
+                    terms.push(Term { a, b, c });
+                }
+            }
+        }
+        IntScheme { m, k, n, terms }
+    }
+
+    /// Number of terms (active multiplications).
+    pub fn rank(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Largest absolute coefficient in the scheme.
+    pub fn max_coeff(&self) -> i32 {
+        self.terms.iter().map(Term::max_coeff).max().unwrap_or(0)
+    }
+
+    /// Reconstruct `Σ_r a_r ⊗ b_r ⊗ c_r` as a flat
+    /// `(m·k) × (k·n) × (m·n)` tensor of exact integers.
+    pub fn reconstruct(&self) -> Vec<i64> {
+        let (da, db, dc) = (self.m * self.k, self.k * self.n, self.m * self.n);
+        let mut t = vec![0i64; da * db * dc];
+        for term in &self.terms {
+            for (ia, &xa) in term.a.iter().enumerate() {
+                if xa == 0 {
+                    continue;
+                }
+                for (ib, &xb) in term.b.iter().enumerate() {
+                    if xb == 0 {
+                        continue;
+                    }
+                    let ab = i64::from(xa) * i64::from(xb);
+                    let base = (ia * db + ib) * dc;
+                    for (ic, &xc) in term.c.iter().enumerate() {
+                        t[base + ic] += ab * i64::from(xc);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// True iff the scheme equals the matmul tensor identically in ℤ:
+    /// `Σ_r a_{(i,p),r}·b_{(p',j),r}·c_{(i',j'),r} = δ_{pp'}δ_{ii'}δ_{jj'}`.
+    pub fn is_valid(&self) -> bool {
+        self.reconstruct() == matmul_tensor_int(self.m, self.k, self.n)
+    }
+
+    /// Canonical-form hash of the whole scheme: invariant under summand
+    /// permutation (commutative combine) and per-term sign relabelings
+    /// ([`Term::hash64`]); the rank is mixed in so that schemes whose
+    /// term multisets hash-collide at different ranks stay distinct.
+    pub fn canonical_hash(&self) -> u64 {
+        let sum = self
+            .terms
+            .iter()
+            .fold(0u64, |acc, t| acc.wrapping_add(t.hash64()));
+        sum ^ (self.rank() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Convert to the float [`Decomposition`] the rest of the workspace
+    /// consumes. Every i32 is exactly representable in f64, so the
+    /// conversion is lossless and the result certifies in ℚ iff the
+    /// scheme is valid over ℤ.
+    pub fn to_decomposition(&self) -> Decomposition {
+        let r = self.rank();
+        let build = |rows: usize, pick: fn(&Term) -> &Vec<i32>| {
+            Matrix::from_fn(rows, r, |row, col| f64::from(pick(&self.terms[col])[row]))
+        };
+        Decomposition::new(
+            self.m,
+            self.k,
+            self.n,
+            build(self.m * self.k, |t| &t.a),
+            build(self.k * self.n, |t| &t.b),
+            build(self.m * self.n, |t| &t.c),
+        )
+    }
+
+    /// Lift a float decomposition whose entries are all integers into
+    /// the exact representation. Errors on fractional or non-finite
+    /// entries (e.g. APA border fits) — those have no place in the
+    /// flip graph.
+    pub fn from_decomposition(dec: &Decomposition) -> Result<Self, String> {
+        let lift = |mat: &Matrix, col: usize, rows: usize| -> Result<Vec<i32>, String> {
+            (0..rows)
+                .map(|row| {
+                    let x = mat[(row, col)];
+                    if x.is_finite() && x.fract() == 0.0 && x.abs() <= f64::from(i32::MAX) {
+                        Ok(x as i32)
+                    } else {
+                        Err(format!("entry {x} at ({row},{col}) is not a small integer"))
+                    }
+                })
+                .collect()
+        };
+        let (m, k, n) = dec.base();
+        let terms = (0..dec.rank())
+            .map(|r| {
+                Ok(Term {
+                    a: lift(&dec.u, r, m * k)?,
+                    b: lift(&dec.v, r, k * n)?,
+                    c: lift(&dec.w, r, m * n)?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(IntScheme { m, k, n, terms })
+    }
+}
+
+/// The exact `⟨m,k,n⟩` matmul tensor, flat-indexed like
+/// [`IntScheme::reconstruct`].
+pub fn matmul_tensor_int(m: usize, k: usize, n: usize) -> Vec<i64> {
+    let (da, db, dc) = (m * k, k * n, m * n);
+    let mut t = vec![0i64; da * db * dc];
+    for i in 0..m {
+        for p in 0..k {
+            for j in 0..n {
+                t[((i * k + p) * db + (p * n + j)) * dc + (i * n + j)] = 1;
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_verify::Certify;
+
+    #[test]
+    fn classical_schemes_are_valid() {
+        for (m, k, n) in [(1, 1, 1), (2, 2, 2), (2, 3, 3), (3, 3, 3), (3, 3, 6)] {
+            let s = IntScheme::classical(m, k, n);
+            assert_eq!(s.rank(), m * k * n);
+            assert!(s.is_valid(), "classical {m},{k},{n}");
+            assert_eq!(s.max_coeff(), 1);
+        }
+    }
+
+    #[test]
+    fn to_decomposition_certifies_in_q() {
+        let s = IntScheme::classical(2, 2, 2);
+        let dec = s.to_decomposition();
+        let cert = dec.certify().expect("classical certifies");
+        assert_eq!(cert.rank, 8);
+    }
+
+    #[test]
+    fn round_trips_through_decomposition() {
+        let s = IntScheme::classical(2, 3, 2);
+        let back = IntScheme::from_decomposition(&s.to_decomposition()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn from_decomposition_rejects_fractional_entries() {
+        let mut dec = IntScheme::classical(2, 2, 2).to_decomposition();
+        dec.u[(0, 0)] = 0.5;
+        assert!(IntScheme::from_decomposition(&dec).is_err());
+    }
+
+    #[test]
+    fn strassen_lifts_and_validates() {
+        let strassen = fmm_algo::strassen();
+        let s = IntScheme::from_decomposition(&strassen).unwrap();
+        assert_eq!(s.rank(), 7);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn corrupted_scheme_is_invalid() {
+        let mut s = IntScheme::classical(2, 2, 2);
+        s.terms[0].c[0] = -1;
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn hash_invariant_under_permutation_and_signs() {
+        let mut s = IntScheme::classical(3, 3, 3);
+        let h0 = s.canonical_hash();
+        s.terms.rotate_left(5);
+        assert_eq!(s.canonical_hash(), h0, "summand permutation");
+        // Sign relabelings with positive product leave the hash alone.
+        for t in &mut s.terms {
+            t.a.iter_mut().for_each(|x| *x = -*x);
+            t.c.iter_mut().for_each(|x| *x = -*x);
+        }
+        assert_eq!(s.canonical_hash(), h0, "sign relabeling");
+        // An actual change does not.
+        s.terms[0].a[0] += 1;
+        assert_ne!(s.canonical_hash(), h0);
+    }
+
+    #[test]
+    fn hash_distinguishes_rank() {
+        let s = IntScheme::classical(2, 2, 2);
+        let mut shorter = s.clone();
+        shorter.terms.pop();
+        assert_ne!(s.canonical_hash(), shorter.canonical_hash());
+    }
+
+    #[test]
+    fn degenerate_terms_detected() {
+        let mut s = IntScheme::classical(2, 2, 2);
+        assert!(!s.terms[0].is_degenerate());
+        s.terms[0].b = vec![0; 4];
+        assert!(s.terms[0].is_degenerate());
+    }
+}

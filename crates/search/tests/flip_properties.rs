@@ -1,0 +1,119 @@
+//! Property tests for the flip-graph move algebra (ISSUE satellite):
+//! flips preserve the Brent equations identically in ℤ, reductions drop
+//! rank by exactly one per merge, and the canonical-form hash is
+//! invariant under term permutations and sign relabelings.
+
+use fmm_search::{apply_flip, reduce_all, split, FlipMove, IntScheme, Slot};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small base cases to exercise; kept tiny so the reconstruction check
+/// (`is_valid` multiplies out the full tensor) stays fast per case.
+const BASES: [(usize, usize, usize); 4] = [(2, 2, 2), (2, 2, 3), (2, 3, 3), (3, 3, 3)];
+
+fn random_move(rng: &mut StdRng, rank: usize) -> FlipMove {
+    let r = rng.gen_range(0..rank);
+    let mut s = rng.gen_range(0..rank - 1);
+    if s >= r {
+        s += 1;
+    }
+    FlipMove {
+        r,
+        s,
+        slot: Slot::ALL[rng.gen_range(0..3usize)],
+        variant: rng.gen_bool(0.5),
+        negate: rng.gen_bool(0.5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every applied flip leaves the represented tensor — i.e. all
+    /// (mk)(kn)(mn) Brent equations — identically satisfied over ℤ.
+    #[test]
+    fn flips_preserve_brent_equations(base in 0usize..4, seed in 0u64..1 << 48) {
+        let (m, k, n) = BASES[base];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scheme = IntScheme::classical(m, k, n);
+        let mut applied = 0;
+        for _ in 0..200 {
+            let mv = random_move(&mut rng, scheme.rank());
+            if apply_flip(&mut scheme, mv, 3).is_some() {
+                applied += 1;
+                prop_assert!(scheme.is_valid(), "flip #{applied} broke a Brent equation");
+            }
+        }
+        prop_assert!(applied > 0, "no flip applied in 200 draws from classical");
+    }
+
+    /// A split adds exactly one term; the reduction that merges the two
+    /// halves back drops rank by exactly one and restores validity.
+    #[test]
+    fn reductions_drop_rank_by_exactly_one(base in 0usize..4, seed in 0u64..1 << 48) {
+        let (m, k, n) = BASES[base];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scheme = IntScheme::classical(m, k, n);
+        let rank0 = scheme.rank();
+        let r = rng.gen_range(0..rank0);
+        let slot = Slot::ALL[rng.gen_range(0..3usize)];
+        let len = match slot {
+            Slot::A => m * k,
+            Slot::B => k * n,
+            Slot::C => m * n,
+        };
+        let mut d = vec![0i32; len];
+        d[rng.gen_range(0..len)] = if rng.gen_bool(0.5) { 1 } else { -1 };
+        if !split(&mut scheme, r, slot, &d, 2) {
+            // d equalled the factor or zeroed a part: nothing to test.
+            return Ok(());
+        }
+        prop_assert_eq!(scheme.rank(), rank0 + 1);
+        prop_assert!(scheme.is_valid(), "split broke the tensor");
+        let removed = reduce_all(&mut scheme, 2);
+        // The split pair must merge back as exactly one reduction.
+        prop_assert_eq!(removed, 1);
+        prop_assert_eq!(scheme.rank(), rank0);
+        prop_assert!(scheme.is_valid(), "reduction broke the tensor");
+    }
+
+    /// The canonical hash ignores term order and per-term sign-orbit
+    /// relabelings (negating two of a term's three factors), while both
+    /// rewrites leave the scheme valid.
+    #[test]
+    fn canonical_hash_is_relabeling_invariant(base in 0usize..4, seed in 0u64..1 << 48) {
+        let (m, k, n) = BASES[base];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scheme = IntScheme::classical(m, k, n);
+        // Walk a few flips first so the hashed state is not the highly
+        // symmetric classical scheme.
+        for _ in 0..40 {
+            let mv = random_move(&mut rng, scheme.rank());
+            let _ = apply_flip(&mut scheme, mv, 2);
+        }
+        let reference = scheme.canonical_hash();
+
+        // Fisher–Yates shuffle of the terms.
+        let mut relabeled = scheme.clone();
+        for i in (1..relabeled.terms.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            relabeled.terms.swap(i, j);
+        }
+        // Random sign-orbit relabel per term: negate two of the three
+        // factors, which preserves the rank-one term exactly.
+        for term in &mut relabeled.terms {
+            let pair = rng.gen_range(0..4usize);
+            let (fst, snd): (&mut Vec<i32>, &mut Vec<i32>) = match pair {
+                0 => (&mut term.a, &mut term.b),
+                1 => (&mut term.a, &mut term.c),
+                2 => (&mut term.b, &mut term.c),
+                _ => continue,
+            };
+            fst.iter_mut().for_each(|x| *x = -*x);
+            snd.iter_mut().for_each(|x| *x = -*x);
+        }
+        prop_assert!(relabeled.is_valid(), "relabeling must preserve the tensor");
+        prop_assert_eq!(relabeled.canonical_hash(), reference);
+    }
+}

@@ -39,7 +39,7 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str);
     let result = match cmd {
         Some("lint") => lint(),
-        Some("certify") => certify(),
+        Some("certify") => certify(&args[1..]),
         Some("trace-check") => match args.get(1) {
             Some(path) => trace_check(path),
             None => {
@@ -48,7 +48,7 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|certify|trace-check>");
+            eprintln!("usage: cargo run -p xtask -- <lint|certify [file.alg ...]|trace-check>");
             return ExitCode::from(2);
         }
     };
@@ -97,14 +97,6 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 /// workspace is written against. Changing this surface is a deliberate
 /// act: update the facade, this pin, and the swap-compatibility note
 /// in `vendor/rayon/src/lib.rs` together.
-/// `.alg` catalog entries whose U/V/W coefficients are all integers —
-/// exactly the schemes the GF(2) backend can execute via the mod-2
-/// lift (odd → 1, even → 0). The data lint recomputes this set from
-/// the shipped files and fails on any drift in either direction, so a
-/// new `.alg` drop (e.g. from a flip-graph search) must declare here
-/// whether it is semiring-executable.
-const INTEGER_COEFF_ALGS: &[&str] = &["strassen_222"];
-
 const RAYON_FACADE_EXPORTS: &[&str] = &[
     "current_num_threads",
     "join",
@@ -484,34 +476,45 @@ fn lint_alg_data(root: &Path, failures: &mut Vec<String>) -> usize {
         } else if let Err(e) = dec.certify() {
             failures.push(format!("{label}: exact certification failed: {e}"));
         }
-        // GF(2)-executability: all three factors integer-coefficient.
+        // GF(2)-executability is a property of the file contents: all
+        // three factors integer-coefficient ⟺ the mod-2 lift (odd → 1,
+        // even → 0, fractional → plan error) accepts the scheme. The
+        // lint derives the set from the shipped coefficients and
+        // cross-checks it against the actual `fmm-gf2` planner both
+        // ways, so a new `.alg` drop (e.g. from a flip-graph search)
+        // is classified automatically and any drift between the two
+        // notions of "integer scheme" is caught here.
         let all_integer = [&dec.u, &dec.v, &dec.w].iter().all(|m| {
             m.as_slice()
                 .iter()
                 .all(|c| c.fract() == 0.0 && c.is_finite())
         });
+        let lift = fmm_gf2::Gf2Planner::new()
+            .shape(64, 64, 64)
+            .algorithm(&dec)
+            .steps(1)
+            .plan();
+        match (all_integer, lift) {
+            (true, Err(e)) => failures.push(format!(
+                "{label}: all-integer coefficients but the GF(2) mod-2 lift \
+                 rejects it: {e}"
+            )),
+            (false, Ok(_)) => failures.push(format!(
+                "{label}: fractional coefficients yet the GF(2) mod-2 lift \
+                 accepted it — the lift must reject non-integer schemes"
+            )),
+            _ => {}
+        }
         if all_integer {
             integer_coeff.push(name.clone());
         }
     }
-    // The integer-coefficient set must match the pin both ways: a file
-    // leaving the set silently breaks GF(2) users of that scheme; a
-    // file entering it should be declared semiring-executable.
-    for pinned in INTEGER_COEFF_ALGS {
-        if !integer_coeff.iter().any(|n| n == pinned) {
-            failures.push(format!(
-                "crates/algo/data/{pinned}.alg: pinned as integer-coefficient \
-                 (GF(2)-executable) but the shipped file is not"
-            ));
-        }
-    }
-    for name in &integer_coeff {
-        if !INTEGER_COEFF_ALGS.contains(&name.as_str()) {
-            failures.push(format!(
-                "crates/algo/data/{name}.alg: has all-integer coefficients but \
-                 is missing from INTEGER_COEFF_ALGS — declare it GF(2)-executable"
-            ));
-        }
+    if !integer_coeff.iter().any(|n| n == "strassen_222") {
+        failures.push(
+            "crates/algo/data/strassen_222.alg: the catalog must always ship at \
+             least Strassen as a GF(2)-executable integer scheme"
+                .to_string(),
+        );
     }
     paths.len()
 }
@@ -563,10 +566,56 @@ fn lint_rayon_facade(root: &Path, failures: &mut Vec<String>) {
 
 /// Exact ℚ certification over everything the catalog ships, APA
 /// acceptance checks, and a ℚ\[ε\] border-rank certification exercising
-/// the degeneration machinery.
-fn certify() -> Result<String, Vec<String>> {
+/// the degeneration machinery. With explicit `.alg` paths, certify
+/// exactly those files instead (the seam CI's `search-smoke` job uses
+/// to gate freshly discovered schemes before they reach the catalog).
+fn certify(files: &[String]) -> Result<String, Vec<String>> {
     let mut failures = Vec::new();
     let mut summary = String::new();
+
+    if !files.is_empty() {
+        let mut equations = 0usize;
+        for path in files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    failures.push(format!("{path}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            let dec = match fmm_algo::parse(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    failures.push(format!("{path}: parse error: {e}"));
+                    continue;
+                }
+            };
+            match dec.certify() {
+                Ok(cert) => {
+                    equations += cert.equations;
+                    let _ = writeln!(
+                        summary,
+                        "{path}: <{},{},{}> rank {} certified in Q ({cert})",
+                        dec.m,
+                        dec.k,
+                        dec.n,
+                        dec.rank()
+                    );
+                }
+                Err(e) => failures.push(format!("{path}: exact certification failed: {e}")),
+            }
+        }
+        return if failures.is_empty() {
+            let _ = write!(
+                summary,
+                "certify: OK ({} file(s), {equations} Brent equations proved identically)",
+                files.len()
+            );
+            Ok(summary)
+        } else {
+            Err(failures)
+        };
+    }
 
     // Exact schemes: the hand-coded/derived catalog, the §5.2 composed
     // schedule, and every exact embedded coefficient file.
